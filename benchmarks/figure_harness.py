@@ -1,0 +1,62 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every ``test_bench_figureNN`` module regenerates one figure of the paper's
+evaluation: it runs the YARN simulator (the "HadoopSetup" series), evaluates
+the fork/join and Tripathi model variants, prints the same series the paper
+plots, and asserts the qualitative shape (both models track the measurement,
+the Tripathi estimate lies above the fork/join estimate, response times do
+not increase with more nodes / do not decrease with more jobs).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_series_table, summarize_errors
+from repro.core import EstimatorKind
+from repro.experiments import ExperimentSeries, run_figure
+
+#: One repetition keeps the benches fast; the experiment module supports more.
+BENCH_REPETITIONS = 1
+BENCH_SEED = 2017
+
+
+def regenerate_figure(figure_id: str) -> ExperimentSeries:
+    """Run the workload grid of one figure with bench-friendly settings."""
+    return run_figure(figure_id, repetitions=BENCH_REPETITIONS, base_seed=BENCH_SEED)
+
+
+def print_figure(figure_id: str, description: str, series: ExperimentSeries) -> None:
+    """Print the figure's series in the same layout as the paper's plots."""
+    print()
+    print(f"=== {figure_id}: {description} ===")
+    print(format_series_table(series.x_label, series.x_values, series.series()))
+    for kind in (EstimatorKind.FORK_JOIN, EstimatorKind.TRIPATHI):
+        summary = summarize_errors(series.errors(kind))
+        print(
+            f"{kind.value:9s}: mean |error| {100 * summary.mean_absolute:5.1f} %  "
+            f"max |error| {100 * summary.max_absolute:5.1f} %  "
+            f"mean signed {100 * summary.mean_signed:+5.1f} %"
+        )
+
+
+def assert_figure_shape(series: ExperimentSeries, max_mean_abs_error: float = 0.45) -> None:
+    """Assert the qualitative properties the paper's figures exhibit."""
+    measured = [point.measured_seconds for point in series.points]
+    forkjoin = [point.forkjoin_seconds for point in series.points]
+    tripathi = [point.tripathi_seconds for point in series.points]
+    assert all(value > 0 for value in measured + forkjoin + tripathi)
+    # The Tripathi estimate lies above the fork/join estimate (paper Sec. 5.2).
+    for fj, tr in zip(forkjoin, tripathi):
+        assert tr >= fj * 0.98
+    # Both model variants track the measurement.
+    fj_summary = summarize_errors(series.errors(EstimatorKind.FORK_JOIN))
+    tr_summary = summarize_errors(series.errors(EstimatorKind.TRIPATHI))
+    assert fj_summary.mean_absolute <= max_mean_abs_error
+    assert tr_summary.mean_absolute <= max_mean_abs_error + 0.15
+    if series.x_label == "number of nodes":
+        # More nodes never hurt (within simulator noise).
+        assert measured[-1] <= measured[0] * 1.15
+        assert forkjoin[-1] <= forkjoin[0] * 1.10
+    else:
+        # More concurrent jobs never help.
+        assert measured[-1] >= measured[0] * 0.95
+        assert forkjoin[-1] >= forkjoin[0] * 0.95

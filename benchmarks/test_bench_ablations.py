@@ -1,0 +1,121 @@
+"""Ablation benches A1–A4: design choices called out in DESIGN.md.
+
+* A1 — precedence-tree balancing on/off (Section 4.2.2 / 5.2: balancing
+  reduces the maximal depth and the estimate);
+* A2 — initialisation strategy (Section 4.2.1: Herodotou-based seeds converge
+  at least as fast as plain service-demand seeds);
+* A3 — reducer slow start on/off (Section 3.4 / 4.2.2: disabling slow start
+  delays the shuffle and increases the estimated response time);
+* A4 — convergence threshold epsilon (Section 4.2.6: tightening epsilon below
+  1e-7 no longer changes the estimate while iterations keep growing).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EstimatorKind,
+    Hadoop2PerformanceModel,
+    ModifiedMVASolver,
+    TaskClass,
+)
+from repro.core.initialization import initialize_from_herodotou
+from repro.units import gigabytes, megabytes
+from repro.workloads import model_input_from_profile, paper_cluster, wordcount_profile
+
+
+def standard_input(num_maps_gb: int = 5, num_jobs: int = 1, slow_start: bool = True):
+    profile = wordcount_profile()
+    cluster = paper_cluster(4)
+    job_config = profile.job_config(gigabytes(num_maps_gb), megabytes(128), 4)
+    return profile, cluster, job_config, model_input_from_profile(
+        profile, cluster, job_config, num_jobs=num_jobs, slow_start=slow_start
+    )
+
+
+def test_bench_ablation_balancing(benchmark):
+    """A1: balanced P-subtrees vs. left-deep chains."""
+    _, _, _, model_input = standard_input()
+
+    def run():
+        balanced = Hadoop2PerformanceModel(model_input, balanced_tree=True).predict()
+        unbalanced = Hadoop2PerformanceModel(model_input, balanced_tree=False).predict()
+        return balanced, unbalanced
+
+    balanced, unbalanced = benchmark(run)
+    print()
+    print("=== A1 balancing: depth "
+          f"{balanced.tree_depth} vs {unbalanced.tree_depth}, estimate "
+          f"{balanced.job_response_time:.1f}s vs {unbalanced.job_response_time:.1f}s ===")
+    assert balanced.tree_depth <= unbalanced.tree_depth
+    assert balanced.job_response_time <= unbalanced.job_response_time * 1.05
+
+
+def test_bench_ablation_initialization(benchmark):
+    """A2: Herodotou-based seeds vs. plain service-demand seeds."""
+    profile, cluster, job_config, model_input = standard_input()
+    dataflow = profile.herodotou_dataflow(job_config)
+    environment = profile.herodotou_environment(cluster)
+    herodotou_seed = initialize_from_herodotou(dataflow, environment)
+
+    def run():
+        solver = ModifiedMVASolver()
+        plain = solver.solve(model_input)
+        seeded = solver.solve(model_input, initial_response_times=herodotou_seed.values)
+        return plain, seeded
+
+    plain, seeded = benchmark(run)
+    print()
+    print(f"=== A2 initialisation: plain {plain.num_iterations} iterations, "
+          f"Herodotou-seeded {seeded.num_iterations} iterations ===")
+    assert seeded.converged and plain.converged
+    assert seeded.num_iterations <= plain.num_iterations + 1
+    # Both initialisations converge to (almost) the same fixed point.
+    assert seeded.job_response_time == pytest.approx(plain.job_response_time, rel=0.05)
+
+
+def test_bench_ablation_slowstart(benchmark):
+    """A3: reducer slow start on/off."""
+    _, _, _, with_slowstart = standard_input(slow_start=True)
+    _, _, _, without_slowstart = standard_input(slow_start=False)
+
+    def run():
+        on = Hadoop2PerformanceModel(with_slowstart).predict(EstimatorKind.FORK_JOIN)
+        off = Hadoop2PerformanceModel(without_slowstart).predict(EstimatorKind.FORK_JOIN)
+        return on, off
+
+    on, off = benchmark(run)
+    print()
+    print(f"=== A3 slow start: on {on.job_response_time:.1f}s, off {off.job_response_time:.1f}s ===")
+    # Without slow start the shuffle cannot overlap the map wave, so the
+    # estimated response time does not decrease.
+    assert off.job_response_time >= on.job_response_time - 1e-6
+
+
+def test_bench_ablation_epsilon(benchmark):
+    """A4: sensitivity to the convergence threshold epsilon."""
+    _, _, _, model_input = standard_input(num_jobs=2)
+
+    def run():
+        results = {}
+        for epsilon in (1e-3, 1e-5, 1e-7, 1e-9):
+            solver = ModifiedMVASolver(epsilon=epsilon)
+            results[epsilon] = solver.solve(model_input)
+        return results
+
+    results = benchmark(run)
+    print()
+    print("=== A4 epsilon sweep ===")
+    for epsilon, trace in results.items():
+        print(f"  epsilon={epsilon:g}: {trace.num_iterations} iterations, "
+              f"estimate {trace.job_response_time:.3f}s")
+    loose = results[1e-3].job_response_time
+    reference = results[1e-7].job_response_time
+    tight = results[1e-9].job_response_time
+    # The recommended 1e-7 threshold: tightening further changes nothing ...
+    assert tight == pytest.approx(reference, rel=1e-6)
+    # ... while iterations are monotone in the threshold.
+    assert results[1e-9].num_iterations >= results[1e-7].num_iterations >= results[1e-3].num_iterations
+    # And even the loose threshold is within 5 % of the converged value.
+    assert loose == pytest.approx(reference, rel=0.05)

@@ -1,0 +1,74 @@
+"""Bench E2 — paper Figures 6-7: timeline and precedence tree of the running example.
+
+The running example (n = 3 nodes, m = 4 maps, r = 1 reduce) produces the
+timeline of Figure 6 — three maps in parallel, the fourth map overlapping the
+reduce's shuffle-sort, then the merge — and the precedence tree of Figure 7.
+"""
+
+from __future__ import annotations
+
+from repro.core import ModelInput, TaskClass, TaskClassDemands, build_precedence_tree, build_timeline
+from repro.core.precedence.metrics import leaves_per_class, tree_depth, tree_operator_counts
+from repro.core.precedence.tree import OperatorKind, render_tree
+
+
+def running_example_input() -> ModelInput:
+    demands = {
+        TaskClass.MAP: TaskClassDemands(cpu_seconds=18.0, disk_seconds=2.0, coefficient_of_variation=0.4),
+        TaskClass.SHUFFLE_SORT: TaskClassDemands(
+            cpu_seconds=0.0, disk_seconds=2.0, network_seconds=4.0, coefficient_of_variation=0.4
+        ),
+        TaskClass.MERGE: TaskClassDemands(cpu_seconds=10.0, disk_seconds=2.0, coefficient_of_variation=0.4),
+    }
+    return ModelInput(
+        num_nodes=3,
+        cpu_per_node=8,
+        disk_per_node=1,
+        max_maps_per_node=1,
+        max_reduces_per_node=1,
+        num_maps=4,
+        num_reduces=1,
+        demands=demands,
+    )
+
+
+def regenerate_running_example():
+    model_input = running_example_input()
+    timeline = build_timeline(
+        model_input,
+        map_duration=20.0,
+        shuffle_sort_base_duration=2.0,
+        shuffle_network_duration=4.0,
+        merge_duration=12.0,
+    )
+    tree = build_precedence_tree(timeline)
+    return timeline, tree
+
+
+def test_bench_running_example(benchmark):
+    timeline, tree = benchmark(regenerate_running_example)
+    print()
+    print("=== Running example (n=3, m=4, r=1): timeline (Figure 6) ===")
+    for entry in sorted(timeline.entries, key=lambda e: (e.start, e.instance.label)):
+        print(
+            f"  {entry.instance.label:4s} node-{entry.node_id} "
+            f"[{entry.start:6.1f}, {entry.end:6.1f}]"
+        )
+    print("=== Precedence tree (Figure 7) ===")
+    print(render_tree(tree))
+
+    maps = timeline.entries_of_class(TaskClass.MAP)
+    # Three maps start immediately (one per node), the fourth in a second wave.
+    assert sum(1 for entry in maps if entry.start == 0.0) == 3
+    assert sum(1 for entry in maps if entry.start > 0.0) == 1
+    # Slow start: the shuffle-sort begins at the end of the first map.
+    shuffle = timeline.entries_of_class(TaskClass.SHUFFLE_SORT)[0]
+    assert shuffle.start == timeline.first_map_end()
+    # The tree has 6 leaves (4 maps + shuffle-sort + merge), 5 binary operators,
+    # and contains both P and S operators.
+    assert leaves_per_class(tree)[TaskClass.MAP] == 4
+    counts = tree_operator_counts(tree)
+    assert counts[OperatorKind.PARALLEL] >= 2
+    assert counts[OperatorKind.SERIAL] >= 1
+    assert counts[OperatorKind.PARALLEL] + counts[OperatorKind.SERIAL] == 5
+    assert tree_depth(tree) >= 2

@@ -1,0 +1,86 @@
+"""Bench E1 — paper Table 1: the ResourceRequest table of the running example.
+
+The running example (Section 3.1) has n = 3 nodes, m = 4 map tasks, r = 1
+reduce task.  When the ApplicationMaster registers, its outstanding requests
+form Table 1: map containers at priority 20 with node-locality constraints,
+the reduce container at priority 10 asking for "any host" (``*``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.config import ClusterConfig, JobConfig, SchedulerConfig
+from repro.hadoop.am import MRAppMaster
+from repro.hadoop.cluster import Cluster
+from repro.hadoop.hdfs import HdfsNamespace
+from repro.hadoop.job import JobResourceProfile, MapReduceJob
+from repro.hadoop.resources import ANY_LOCATION, Resource
+from repro.units import format_size, megabytes
+
+
+def build_running_example_am() -> MRAppMaster:
+    """AM of the running example with its map/reduce requests outstanding."""
+    cluster_config = ClusterConfig(num_nodes=3, max_maps_per_node=4, max_reduces_per_node=4)
+    cluster = Cluster(cluster_config)
+    hdfs = HdfsNamespace(cluster, seed=31)
+    job_config = JobConfig(
+        name="running-example",
+        input_size_bytes=megabytes(512),
+        block_size_bytes=megabytes(128),
+        num_reduces=1,
+    )
+    job = MapReduceJob(
+        job_id=0,
+        config=job_config,
+        profile=JobResourceProfile(duration_cv=0.0),
+        splits=hdfs.splits_for_job(job_config),
+    )
+    app_master = MRAppMaster(
+        job=job,
+        scheduler_config=SchedulerConfig(),
+        map_resource=Resource.from_spec(cluster_config.map_container),
+        reduce_resource=Resource.from_spec(cluster_config.reduce_container),
+        num_cluster_nodes=3,
+    )
+    # AM container granted and registered; slow start disabled threshold means
+    # reduces are requested immediately only when no maps exist, so force the
+    # reduce request the way the real AM does once the ramp-up condition holds.
+    app_master.am_requested = True
+    app_master.on_registered(time=0.0)
+    for task in job.reduce_tasks:
+        task.mark_scheduled(0.0)
+    app_master.reduces_scheduled = True
+    return app_master
+
+
+def regenerate_table1() -> list[dict[str, object]]:
+    """Rows of Table 1 for the running example."""
+    return build_running_example_am().resource_request_table().rows()
+
+
+def test_bench_table1_resource_requests(benchmark):
+    rows = benchmark(regenerate_table1)
+    printable = [
+        [
+            row["num_containers"],
+            row["priority"],
+            format_size(row["size"].memory_bytes),
+            row["locality"],
+            row["task_type"],
+        ]
+        for row in rows
+    ]
+    print()
+    print("=== Table 1: ResourceRequest object (running example n=3, m=4, r=1) ===")
+    print(format_table(["#containers", "priority", "size", "locality", "task type"], printable))
+
+    map_rows = [row for row in rows if row["task_type"] == "map"]
+    reduce_rows = [row for row in rows if row["task_type"] == "reduce"]
+    # Four map containers at priority 20, one reduce container at priority 10.
+    assert sum(row["num_containers"] for row in map_rows) == 4
+    assert sum(row["num_containers"] for row in reduce_rows) == 1
+    assert all(row["priority"] == 20 for row in map_rows)
+    assert all(row["priority"] == 10 for row in reduce_rows)
+    # Map requests carry locality constraints; the reduce request asks for '*'.
+    assert all(row["locality"] != ANY_LOCATION for row in map_rows)
+    assert all(row["locality"] == ANY_LOCATION for row in reduce_rows)

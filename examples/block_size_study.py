@@ -1,0 +1,87 @@
+"""Block-size study: the effect of more map tasks on model accuracy.
+
+Section 5.2 of the paper reduces the HDFS block size from 128 MB to 64 MB
+(doubling the number of map tasks without changing the input size) and
+observes that the estimation error grows with the number of map tasks,
+because the precedence tree becomes deeper.  This example reproduces that
+study for a 5 GB WordCount on 4 nodes and prints, for both block sizes,
+
+* the measured (simulated) response time,
+* both model estimates and their relative errors,
+* the depth of the final precedence tree.
+
+Run with::
+
+    python examples/block_size_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, relative_error
+from repro.core import EstimatorKind, Hadoop2PerformanceModel
+from repro.hadoop import ClusterSimulator
+from repro.units import gigabytes, megabytes
+from repro.workloads import (
+    model_input_from_profile,
+    paper_cluster,
+    paper_scheduler,
+    wordcount_profile,
+)
+
+
+def main() -> None:
+    cluster = paper_cluster(num_nodes=4)
+    profile = wordcount_profile()
+    rows = []
+    for block_mb in (128, 64):
+        job_config = profile.job_config(
+            input_size_bytes=gigabytes(5),
+            block_size_bytes=megabytes(block_mb),
+            num_reduces=4,
+        )
+        simulator = ClusterSimulator(cluster, paper_scheduler(), seed=11)
+        simulator.submit_job(job_config, profile.simulator_profile())
+        measured = simulator.run().mean_response_time
+
+        model_input = model_input_from_profile(profile, cluster, job_config, num_jobs=1)
+        model = Hadoop2PerformanceModel(model_input)
+        predictions = model.predict_all()
+        forkjoin = predictions[EstimatorKind.FORK_JOIN]
+        tripathi = predictions[EstimatorKind.TRIPATHI]
+        rows.append(
+            [
+                f"{block_mb} MB",
+                job_config.num_maps,
+                f"{measured:.1f}",
+                f"{forkjoin.job_response_time:.1f}",
+                f"{100 * relative_error(forkjoin.job_response_time, measured):+.1f}%",
+                f"{tripathi.job_response_time:.1f}",
+                f"{100 * relative_error(tripathi.job_response_time, measured):+.1f}%",
+                forkjoin.tree_depth,
+            ]
+        )
+    print("5 GB WordCount on 4 nodes, one job (cf. paper Figures 12 and 15):")
+    print(
+        format_table(
+            [
+                "block",
+                "maps",
+                "measured (s)",
+                "fork/join (s)",
+                "fj error",
+                "tripathi (s)",
+                "tr error",
+                "tree depth",
+            ],
+            rows,
+        )
+    )
+    print("\nExpected shape: the precedence tree is deeper with 64 MB blocks (more "
+          "map tasks), and the Tripathi estimate stays above the fork/join estimate.  "
+          "The paper observes the estimation error growing with the number of map "
+          "tasks; run `pytest benchmarks/test_bench_figure15.py --benchmark-only -s` "
+          "for the full 4/6/8-node comparison.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Capacity planning: how many nodes does a workload need?
+
+The paper motivates analytic models with "critical decision making in
+workload management and resource capacity planning".  This example uses the
+model to answer a planning question without running anything on a cluster:
+
+    "Four analysts each run a 5 GB WordCount concurrently every hour.
+     How many nodes keep the average job response time under a target?"
+
+The model is evaluated for 4..12 nodes and the smallest cluster meeting the
+target is reported; the chosen size is then cross-checked against the
+simulator.
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.core import EstimatorKind, Hadoop2PerformanceModel
+from repro.hadoop import ClusterSimulator
+from repro.units import format_seconds, gigabytes, megabytes
+from repro.workloads import (
+    generate_concurrent_jobs,
+    model_input_from_profile,
+    paper_cluster,
+    paper_scheduler,
+    wordcount_profile,
+)
+
+#: Average job response time the planner wants to stay under (seconds).
+TARGET_SECONDS = 400.0
+#: Number of concurrent jobs in the planning scenario.
+NUM_JOBS = 4
+
+
+def main() -> None:
+    profile = wordcount_profile()
+    job_config = profile.job_config(
+        input_size_bytes=gigabytes(5),
+        block_size_bytes=megabytes(128),
+        num_reduces=4,
+    )
+    print(f"target: average response time of {NUM_JOBS} concurrent 5 GB WordCount jobs "
+          f"below {format_seconds(TARGET_SECONDS)}")
+
+    chosen_nodes = None
+    print(f"{'nodes':>5}  {'fork/join estimate':>20}")
+    for num_nodes in range(4, 13, 2):
+        cluster = paper_cluster(num_nodes)
+        model_input = model_input_from_profile(
+            profile, cluster, job_config, num_jobs=NUM_JOBS
+        )
+        prediction = Hadoop2PerformanceModel(model_input).predict(EstimatorKind.FORK_JOIN)
+        marker = ""
+        if chosen_nodes is None and prediction.job_response_time <= TARGET_SECONDS:
+            chosen_nodes = num_nodes
+            marker = "  <-- smallest cluster meeting the target"
+        print(f"{num_nodes:>5}  {prediction.job_response_time:>18.1f} s{marker}")
+
+    if chosen_nodes is None:
+        print("no cluster size up to 12 nodes meets the target")
+        return
+
+    # Cross-check the chosen size against the simulator.
+    cluster = paper_cluster(chosen_nodes)
+    simulator = ClusterSimulator(cluster, paper_scheduler(), seed=7)
+    for config in generate_concurrent_jobs(
+        profile,
+        input_size_bytes=gigabytes(5),
+        block_size_bytes=megabytes(128),
+        num_reduces=4,
+        num_jobs=NUM_JOBS,
+    ):
+        simulator.submit_job(config, profile.simulator_profile())
+    result = simulator.run()
+    print(f"simulator check on {chosen_nodes} nodes: mean response "
+          f"{result.mean_response_time:.1f} s (target {TARGET_SECONDS:.0f} s)")
+
+
+if __name__ == "__main__":
+    main()

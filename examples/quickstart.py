@@ -1,0 +1,66 @@
+"""Quickstart: predict and measure the response time of one WordCount job.
+
+This example walks through the complete workflow of the library:
+
+1. describe the cluster (the paper's 4-node testbed) and the workload
+   (WordCount over 1 GB of input, 128 MB blocks, 4 reducers);
+2. estimate the average job response time with the analytic model, using
+   both the fork/join and the Tripathi estimators;
+3. "measure" the same workload on the YARN cluster simulator;
+4. compare the estimates against the measurement.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import relative_error
+from repro.core import EstimatorKind, Hadoop2PerformanceModel
+from repro.hadoop import ClusterSimulator
+from repro.units import gigabytes, megabytes
+from repro.workloads import (
+    model_input_from_profile,
+    paper_cluster,
+    paper_scheduler,
+    wordcount_profile,
+)
+
+
+def main() -> None:
+    # 1. Cluster and workload description.
+    cluster = paper_cluster(num_nodes=4)
+    scheduler = paper_scheduler()
+    profile = wordcount_profile()
+    job_config = profile.job_config(
+        input_size_bytes=gigabytes(1),
+        block_size_bytes=megabytes(128),
+        num_reduces=4,
+    )
+    print(f"workload: {job_config.name}, {job_config.num_maps} maps, "
+          f"{job_config.num_reduces} reduces on {cluster.num_nodes} nodes")
+
+    # 2. Analytic model (the paper's contribution).
+    model_input = model_input_from_profile(profile, cluster, job_config, num_jobs=1)
+    model = Hadoop2PerformanceModel(model_input)
+    predictions = model.predict_all()
+    for kind, prediction in predictions.items():
+        print(f"  model [{kind.value:9s}]: {prediction.job_response_time:7.1f} s "
+              f"({prediction.iterations} iterations, tree depth {prediction.tree_depth})")
+
+    # 3. "Measurement" on the YARN cluster simulator.
+    simulator = ClusterSimulator(cluster, scheduler, seed=42)
+    simulator.submit_job(job_config, profile.simulator_profile())
+    result = simulator.run()
+    measured = result.mean_response_time
+    print(f"  simulator (measured) : {measured:7.1f} s")
+
+    # 4. Relative errors (the paper reports 11-13.5% for fork/join).
+    for kind, prediction in predictions.items():
+        error = relative_error(prediction.job_response_time, measured)
+        print(f"  {kind.value:9s} relative error: {100 * error:+6.1f} %")
+
+
+if __name__ == "__main__":
+    main()

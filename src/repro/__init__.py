@@ -1,0 +1,35 @@
+"""Reproduction of "MapReduce Performance Models for Hadoop 2.x" (EDBT 2017).
+
+The package is organised in layers (see DESIGN.md):
+
+* :mod:`repro.queueing` — closed queueing-network substrate (MVA solvers,
+  Erlang/hyperexponential distributions, fork/join estimates);
+* :mod:`repro.hadoop` — discrete-event YARN cluster simulator, the stand-in
+  for the paper's real Hadoop 2.x testbed;
+* :mod:`repro.static_models` — static baselines from related work
+  (Herodotou, ARIA, Vianna et al.);
+* :mod:`repro.core` — the paper's contribution: the Hadoop 2.x analytic
+  performance model (timeline → precedence tree → overlap factors →
+  modified MVA → Tripathi / fork-join job response-time estimators);
+* :mod:`repro.workloads` — job profiles and workload generators;
+* :mod:`repro.experiments` / :mod:`repro.analysis` — the evaluation harness
+  regenerating every figure of the paper.
+
+The most common entry points are re-exported here.
+"""
+
+from .config import ClusterConfig, ContainerSpec, JobConfig, NodeSpec, SchedulerConfig
+from .units import gigabytes, megabytes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "ContainerSpec",
+    "JobConfig",
+    "NodeSpec",
+    "SchedulerConfig",
+    "gigabytes",
+    "megabytes",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Analysis helpers: error metrics, textual reports, ASCII plots."""
+
+from .errors import ErrorSummary, relative_error, summarize_errors
+from .report import format_series_table, format_table
+from .plots import ascii_series_plot
+
+__all__ = [
+    "ErrorSummary",
+    "relative_error",
+    "summarize_errors",
+    "format_series_table",
+    "format_table",
+    "ascii_series_plot",
+]

@@ -1,0 +1,53 @@
+"""Plain-text tables for experiment results.
+
+The benches print the same rows/series the paper's figures report:
+one row per x-value (number of nodes or number of jobs) with the measured
+("HadoopSetup") value and the two model estimates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import ValidationError
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple aligned text table."""
+    if not headers:
+        raise ValidationError("table needs at least one column")
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValidationError("row length does not match header length")
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    precision: int = 1,
+) -> str:
+    """Render a figure-style table: one column per series, one row per x value."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: list[object] = [x_value]
+        for name in series:
+            values = series[name]
+            if index >= len(values):
+                raise ValidationError(f"series {name!r} is shorter than x_values")
+            row.append(f"{values[index]:.{precision}f}")
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,140 @@
+"""Command-line interface.
+
+``python -m repro`` (or the ``repro-hadoop2`` console script) exposes the
+main entry points of the library:
+
+* ``figure``   — regenerate one of the paper's evaluation figures;
+* ``predict``  — run the analytic model for a single workload description;
+* ``simulate`` — run the YARN simulator for the same workload;
+* ``list``     — list the available figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .analysis import ascii_series_plot, format_series_table
+from .core.estimators import EstimatorKind
+from .core.model import Hadoop2PerformanceModel
+from .experiments.figures import FIGURE_DEFINITIONS, run_figure
+from .hadoop.simulator import ClusterSimulator
+from .units import parse_size
+from .workloads.generators import WorkloadSpec, paper_cluster, paper_scheduler
+from .workloads.profiles import model_input_from_profile
+from .workloads.wordcount import wordcount_profile
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=4, help="number of cluster nodes")
+    parser.add_argument("--input-size", default="1GB", help="input data size (e.g. 1GB, 5GB)")
+    parser.add_argument("--block-size", default="128MB", help="HDFS block size (e.g. 128MB, 64MB)")
+    parser.add_argument("--jobs", type=int, default=1, help="number of concurrent jobs")
+    parser.add_argument("--reduces", type=int, default=4, help="reduce tasks per job")
+    parser.add_argument("--seed", type=int, default=1234, help="random seed")
+
+
+def _workload_from_args(args: argparse.Namespace) -> WorkloadSpec:
+    return WorkloadSpec.wordcount(
+        input_size_bytes=parse_size(args.input_size),
+        num_jobs=args.jobs,
+        block_size_bytes=parse_size(args.block_size),
+        num_reduces=args.reduces,
+    )
+
+
+def _command_list(_: argparse.Namespace) -> int:
+    for figure_id, definition in sorted(FIGURE_DEFINITIONS.items()):
+        print(f"{figure_id}: {definition.description}")
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    series = run_figure(args.figure_id, repetitions=args.repetitions, base_seed=args.seed)
+    print(FIGURE_DEFINITIONS[args.figure_id].description)
+    print(format_series_table(series.x_label, series.x_values, series.series()))
+    if args.plot:
+        print()
+        print(ascii_series_plot(series.x_values, series.series()))
+    for kind in (EstimatorKind.FORK_JOIN, EstimatorKind.TRIPATHI):
+        errors = [abs(error) for error in series.errors(kind)]
+        print(
+            f"{kind.value}: mean |error| = {100 * sum(errors) / len(errors):.1f}%, "
+            f"max |error| = {100 * max(errors):.1f}%"
+        )
+    return 0
+
+
+def _command_predict(args: argparse.Namespace) -> int:
+    workload = _workload_from_args(args)
+    cluster = paper_cluster(args.nodes)
+    model_input = model_input_from_profile(
+        wordcount_profile(),
+        cluster,
+        workload.job_configs()[0],
+        num_jobs=args.jobs,
+    )
+    model = Hadoop2PerformanceModel(model_input)
+    for kind, result in model.predict_all().items():
+        print(result.summary())
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    workload = _workload_from_args(args)
+    cluster = paper_cluster(args.nodes)
+    simulator = ClusterSimulator(cluster, paper_scheduler(), seed=args.seed)
+    for job_config in workload.job_configs():
+        simulator.submit_job(job_config, workload.profile.simulator_profile())
+    result = simulator.run()
+    for trace in result.job_traces:
+        print(
+            f"job {trace.job_id}: response {trace.response_time:.1f}s "
+            f"(maps {trace.num_maps}, reduces {trace.num_reduces}, "
+            f"avg map {trace.average_map_duration():.1f}s)"
+        )
+    print(f"mean job response time: {result.mean_response_time:.1f}s")
+    print(f"makespan: {result.makespan:.1f}s")
+    print(f"data-local map fraction: {result.metrics.data_local_fraction:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hadoop2",
+        description="MapReduce performance models for Hadoop 2.x (EDBT 2017) — reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list the available figures")
+    list_parser.set_defaults(handler=_command_list)
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate one evaluation figure")
+    figure_parser.add_argument("figure_id", choices=sorted(FIGURE_DEFINITIONS))
+    figure_parser.add_argument("--repetitions", type=int, default=3)
+    figure_parser.add_argument("--seed", type=int, default=1234)
+    figure_parser.add_argument("--plot", action="store_true", help="print an ASCII plot")
+    figure_parser.set_defaults(handler=_command_figure)
+
+    predict_parser = subparsers.add_parser("predict", help="run the analytic model")
+    _add_workload_arguments(predict_parser)
+    predict_parser.set_defaults(handler=_command_predict)
+
+    simulate_parser = subparsers.add_parser("simulate", help="run the YARN simulator")
+    _add_workload_arguments(simulate_parser)
+    simulate_parser.set_defaults(handler=_command_simulate)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""Model input parameters (paper Table 2).
+
+The analytic model is driven by a :class:`ModelInput` object holding
+
+* **configuration parameters** — number of nodes, CPUs and disks per node,
+  per-node container caps for map and reduce tasks;
+* **workload parameters** — number of concurrent jobs, number of map and
+  reduce tasks per job, per-class service demands ``S_{i,k}`` on the two
+  service centers (CPU & memory, network), and initial per-class response
+  times used to seed the iteration.
+
+Three task classes exist (paper Section 4.1): ``map``, ``shuffle-sort`` and
+``merge`` — the reduce task is split into its shuffle-sort and merge
+subtasks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from ..exceptions import ConfigurationError
+
+
+class TaskClass(enum.Enum):
+    """The three task classes of the model."""
+
+    MAP = "map"
+    SHUFFLE_SORT = "shuffle-sort"
+    MERGE = "merge"
+
+    @classmethod
+    def ordered(cls) -> tuple["TaskClass", ...]:
+        """Classes in canonical order (map, shuffle-sort, merge)."""
+        return (cls.MAP, cls.SHUFFLE_SORT, cls.MERGE)
+
+
+class ServiceCenterName(enum.Enum):
+    """Service centers of the model.
+
+    The paper names two resource types, "CPU & Memory" and "Network"
+    (Section 4.1), while listing ``cpuPerNode`` *and* ``diskPerNode`` among
+    the configuration parameters of Table 2.  We therefore keep the local
+    disk as its own center so the per-node disk count can play its role; the
+    CPU and DISK centers together correspond to the paper's "CPU & Memory"
+    resource.
+    """
+
+    CPU = "cpu"
+    DISK = "disk"
+    NETWORK = "network"
+
+    @classmethod
+    def ordered(cls) -> tuple["ServiceCenterName", ...]:
+        """Centers in canonical order."""
+        return (cls.CPU, cls.DISK, cls.NETWORK)
+
+
+@dataclass(frozen=True)
+class TaskClassDemands:
+    """Average service demands of one task class (seconds per task).
+
+    ``cpu_seconds`` is pure processing time, ``disk_seconds`` local-disk I/O
+    time, and ``network_seconds`` the time spent moving data over the cluster
+    network (only the shuffle-sort class normally has a non-zero value).
+    """
+
+    cpu_seconds: float
+    disk_seconds: float = 0.0
+    network_seconds: float = 0.0
+    #: Coefficient of variation of the class response time (used by the
+    #: Tripathi estimator to pick Erlang vs. hyperexponential fits).
+    coefficient_of_variation: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cpu_seconds < 0 or self.disk_seconds < 0 or self.network_seconds < 0:
+            raise ConfigurationError("service demands must be non-negative")
+        if self.coefficient_of_variation < 0:
+            raise ConfigurationError("coefficient of variation must be non-negative")
+
+    @property
+    def total_seconds(self) -> float:
+        """Total uncontended service demand of the class."""
+        return self.cpu_seconds + self.disk_seconds + self.network_seconds
+
+    def demand(self, center: ServiceCenterName) -> float:
+        """Demand on one service center."""
+        if center is ServiceCenterName.CPU:
+            return self.cpu_seconds
+        if center is ServiceCenterName.DISK:
+            return self.disk_seconds
+        return self.network_seconds
+
+
+@dataclass(frozen=True)
+class ModelInput:
+    """Complete input of the Hadoop 2.x performance model (paper Table 2)."""
+
+    # -- configuration parameters ------------------------------------------------
+    num_nodes: int
+    cpu_per_node: int = 8
+    disk_per_node: int = 1
+    max_maps_per_node: int = 8
+    max_reduces_per_node: int = 8
+
+    # -- workload parameters -------------------------------------------------------
+    num_jobs: int = 1
+    num_maps: int = 1
+    num_reduces: int = 1
+    demands: dict[TaskClass, TaskClassDemands] = field(default_factory=dict)
+    #: Initial per-class response-time estimates (seconds).  When omitted,
+    #: they default to the total service demand of the class.
+    initial_response_times: dict[TaskClass, float] = field(default_factory=dict)
+
+    # -- scheduling assumptions -----------------------------------------------------
+    slow_start: bool = True
+    respect_map_locality: bool = True
+    #: Fixed per-job overhead not represented by the task timeline: AM
+    #: container start-up, registration, and the first container-allocation
+    #: round trips (seconds).  Added once to every job response-time estimate.
+    job_overhead_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive")
+        if self.cpu_per_node <= 0 or self.disk_per_node <= 0:
+            raise ConfigurationError("per-node hardware counts must be positive")
+        if self.max_maps_per_node <= 0 or self.max_reduces_per_node <= 0:
+            raise ConfigurationError("per-node container caps must be positive")
+        if self.num_jobs <= 0:
+            raise ConfigurationError("num_jobs must be positive")
+        if self.num_maps <= 0 or self.num_reduces <= 0:
+            raise ConfigurationError("task counts must be positive")
+        missing = [cls for cls in TaskClass.ordered() if cls not in self.demands]
+        if missing:
+            raise ConfigurationError(
+                "demands must be provided for every task class; missing: "
+                + ", ".join(cls.value for cls in missing)
+            )
+        for task_class, response in self.initial_response_times.items():
+            if response < 0:
+                raise ConfigurationError(
+                    f"initial response time of {task_class.value} must be non-negative"
+                )
+        if self.job_overhead_seconds < 0:
+            raise ConfigurationError("job_overhead_seconds must be non-negative")
+
+    # -- derived values -----------------------------------------------------------------
+
+    def initial_response_time(self, task_class: TaskClass) -> float:
+        """Seed response time of a class (explicit value or total demand)."""
+        if task_class in self.initial_response_times:
+            return self.initial_response_times[task_class]
+        return self.demands[task_class].total_seconds
+
+    def class_population(self, task_class: TaskClass) -> int:
+        """Number of tasks of ``task_class`` per job."""
+        if task_class is TaskClass.MAP:
+            return self.num_maps
+        return self.num_reduces
+
+    def total_population(self, task_class: TaskClass) -> int:
+        """Number of tasks of ``task_class`` across all concurrent jobs."""
+        return self.class_population(task_class) * self.num_jobs
+
+    @property
+    def total_map_capacity(self) -> int:
+        """Cluster-wide number of concurrent map containers."""
+        return self.num_nodes * self.max_maps_per_node
+
+    @property
+    def total_reduce_capacity(self) -> int:
+        """Cluster-wide number of concurrent reduce containers."""
+        return self.num_nodes * self.max_reduces_per_node
+
+    def with_updates(self, **changes) -> "ModelInput":
+        """Return a copy with ``changes`` applied (convenience for sweeps)."""
+        return replace(self, **changes)

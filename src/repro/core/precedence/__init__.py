@@ -1,0 +1,27 @@
+"""Precedence trees: structure, construction, balancing, and metrics.
+
+A precedence tree (paper Section 4.2.2) is a binary tree whose leaves are
+task instances and whose internal nodes are either **S** (serial) or **P**
+(parallel-and) operators.  It captures the execution flow of one job:
+instances under a P-node run in parallel, children of an S-node run one after
+the other.
+"""
+
+from .tree import LeafNode, OperatorKind, OperatorNode, PrecedenceNode
+from .builder import build_precedence_tree
+from .balancer import balance_parallel_subtrees, balanced_parallel_tree
+from .metrics import tree_depth, tree_leaves, tree_operator_counts, trees_isomorphic
+
+__all__ = [
+    "LeafNode",
+    "OperatorKind",
+    "OperatorNode",
+    "PrecedenceNode",
+    "build_precedence_tree",
+    "balance_parallel_subtrees",
+    "balanced_parallel_tree",
+    "tree_depth",
+    "tree_leaves",
+    "tree_operator_counts",
+    "trees_isomorphic",
+]

@@ -1,0 +1,76 @@
+"""Balancing of parallel subtrees.
+
+A phase with ``k`` parallel task instances must be expressed with binary
+P-operators.  A naive left-deep chain has depth ``k - 1``; the paper observes
+(Section 5.2) that the estimation error grows with the maximal depth of the
+precedence tree and therefore balances each P-subtree.  This module provides
+both constructions so the ablation bench can quantify the difference.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ...exceptions import ModelError
+from .tree import LeafNode, OperatorKind, OperatorNode, PrecedenceNode
+
+
+def left_deep_parallel_tree(nodes: Sequence[PrecedenceNode]) -> PrecedenceNode:
+    """Combine ``nodes`` with P-operators into a left-deep (unbalanced) chain."""
+    if not nodes:
+        raise ModelError("cannot build a parallel tree from zero nodes")
+    result = nodes[0]
+    for node in nodes[1:]:
+        result = OperatorNode(operator=OperatorKind.PARALLEL, left=result, right=node)
+    return result
+
+
+def balanced_parallel_tree(nodes: Sequence[PrecedenceNode]) -> PrecedenceNode:
+    """Combine ``nodes`` with P-operators into a balanced binary tree.
+
+    The resulting depth is ``ceil(log2(k))`` instead of ``k - 1``, which is
+    the balancing procedure the paper applies to every P-subtree.
+    """
+    if not nodes:
+        raise ModelError("cannot build a parallel tree from zero nodes")
+    current: list[PrecedenceNode] = list(nodes)
+    while len(current) > 1:
+        paired: list[PrecedenceNode] = []
+        for index in range(0, len(current) - 1, 2):
+            paired.append(
+                OperatorNode(
+                    operator=OperatorKind.PARALLEL,
+                    left=current[index],
+                    right=current[index + 1],
+                )
+            )
+        if len(current) % 2 == 1:
+            paired.append(current[-1])
+        current = paired
+    return current[0]
+
+
+def balance_parallel_subtrees(node: PrecedenceNode) -> PrecedenceNode:
+    """Rebalance every maximal P-subtree of an existing tree.
+
+    S-nodes are preserved; each maximal run of P-connected subtrees is
+    collected and re-combined with :func:`balanced_parallel_tree`.
+    """
+    if isinstance(node, LeafNode):
+        return node
+    if node.operator is OperatorKind.SERIAL:
+        return OperatorNode(
+            operator=OperatorKind.SERIAL,
+            left=balance_parallel_subtrees(node.left),
+            right=balance_parallel_subtrees(node.right),
+        )
+    members = _collect_parallel_members(node)
+    balanced_members = [balance_parallel_subtrees(member) for member in members]
+    return balanced_parallel_tree(balanced_members)
+
+
+def _collect_parallel_members(node: PrecedenceNode) -> list[PrecedenceNode]:
+    """Flatten a maximal P-connected subtree into its non-P members."""
+    if isinstance(node, OperatorNode) and node.operator is OperatorKind.PARALLEL:
+        return _collect_parallel_members(node.left) + _collect_parallel_members(node.right)
+    return [node]

@@ -1,0 +1,157 @@
+"""Precedence-tree construction from a timeline.
+
+Following Section 4.2.2 of the paper, the timeline determines which task
+instances execute in parallel and which sequentially, and the tree is built
+with binary P and S operators (unique up to isomorphism for a given
+timeline).  The concrete construction used here:
+
+1. **Cut points.**  A time ``t`` is a cut point when no task instance is
+   strictly executing across it (every instance either ends at or before
+   ``t`` or starts at or after ``t``).  Cut points split the timeline into
+   *segments*; instances of different segments execute strictly
+   sequentially, so segments are chained with S operators.
+2. **Chains.**  Within a segment, the subtasks of one reduce task
+   (shuffle-sort followed by merge) execute sequentially and form an S-chain;
+   every map instance forms a singleton chain.
+3. **Parallel groups.**  The chains of a segment execute concurrently and are
+   combined into a balanced binary P-subtree (the balancing procedure the
+   paper applies to limit the maximal tree depth; ``balanced=False`` produces
+   the left-deep variant used by the balancing ablation).
+
+Compared to a naive "group by identical start time" construction, using cut
+points guarantees that two *overlapping* instances are never placed under an
+S operator, which would double-count their execution time.
+"""
+
+from __future__ import annotations
+
+from ...exceptions import ModelError
+from ..parameters import TaskClass
+from ..timeline import Timeline, TimelineEntry
+from .balancer import balanced_parallel_tree, left_deep_parallel_tree
+from .tree import LeafNode, OperatorKind, OperatorNode, PrecedenceNode
+
+#: Numerical tolerance when comparing timeline instants.
+_TIME_EPSILON = 1e-9
+
+
+def _cut_points(entries: list[TimelineEntry]) -> list[float]:
+    """Sorted times that no entry strictly spans (segment boundaries)."""
+    candidates = sorted({entry.start for entry in entries} | {entry.end for entry in entries})
+    cuts = []
+    for time in candidates:
+        spanning = any(
+            entry.start < time - _TIME_EPSILON and entry.end > time + _TIME_EPSILON
+            for entry in entries
+        )
+        if not spanning:
+            cuts.append(time)
+    return cuts
+
+
+def _segments(entries: list[TimelineEntry]) -> list[list[TimelineEntry]]:
+    """Partition entries into maximal groups separated by cut points."""
+    cuts = _cut_points(entries)
+    segments: list[list[TimelineEntry]] = []
+    for index in range(len(cuts) - 1):
+        lower = cuts[index]
+        upper = cuts[index + 1]
+        members = [
+            entry
+            for entry in entries
+            if entry.start >= lower - _TIME_EPSILON and entry.end <= upper + _TIME_EPSILON
+            # Zero-length entries sitting exactly on a boundary belong to the
+            # segment that starts there (avoids duplicating them).
+            and (entry.start < upper - _TIME_EPSILON or lower == upper)
+        ]
+        if members:
+            segments.append(members)
+    # Zero-duration instances sitting exactly on the final boundary (or
+    # floating-point pathologies) may escape the interval test above; attach
+    # them as a trailing segment instead of losing them.
+    captured_ids = {
+        id(entry) for segment in segments for entry in segment
+    }
+    leftovers = [entry for entry in entries if id(entry) not in captured_ids]
+    if leftovers:
+        segments.append(leftovers)
+    return segments
+
+
+def _chain_key(entry: TimelineEntry) -> tuple:
+    """Key grouping entries that execute sequentially within a segment."""
+    instance = entry.instance
+    if instance.task_class is TaskClass.MAP:
+        return ("map", instance.index)
+    return ("reduce", instance.reduce_index)
+
+
+def _build_chain(
+    entries: list[TimelineEntry],
+    cv_by_class: dict[TaskClass, float],
+) -> PrecedenceNode:
+    """S-chain the entries of one chain (sorted by start time)."""
+    ordered = sorted(entries, key=lambda entry: (entry.start, entry.instance.task_class.value))
+    nodes: list[PrecedenceNode] = [
+        LeafNode(
+            instance=entry.instance,
+            mean_response_time=entry.duration,
+            coefficient_of_variation=cv_by_class.get(entry.instance.task_class, 0.0),
+        )
+        for entry in ordered
+    ]
+    chain = nodes[0]
+    for node in nodes[1:]:
+        chain = OperatorNode(operator=OperatorKind.SERIAL, left=chain, right=node)
+    return chain
+
+
+def build_precedence_tree(
+    timeline: Timeline,
+    coefficient_of_variation: dict[TaskClass, float] | None = None,
+    balanced: bool = True,
+) -> PrecedenceNode:
+    """Build the (binary) precedence tree of ``timeline``.
+
+    Parameters
+    ----------
+    timeline:
+        Placement of one job's task instances.
+    coefficient_of_variation:
+        Optional per-class CV attached to the leaves (used by the Tripathi
+        estimator and the fork/join premium); defaults to 0 (deterministic
+        leaves).
+    balanced:
+        Build each P-group as a balanced subtree (paper default).  Setting it
+        to ``False`` produces left-deep P-chains, used by the balancing
+        ablation bench.
+
+    Raises
+    ------
+    ModelError
+        If the timeline has no entries.
+    """
+    if not timeline.entries:
+        raise ModelError("cannot build a precedence tree from an empty timeline")
+    cv_by_class = coefficient_of_variation or {}
+
+    groups: list[PrecedenceNode] = []
+    for segment in _segments(timeline.entries):
+        chains: dict[tuple, list[TimelineEntry]] = {}
+        for entry in segment:
+            chains.setdefault(_chain_key(entry), []).append(entry)
+        chain_nodes = [
+            _build_chain(entries, cv_by_class)
+            for _, entries in sorted(chains.items(), key=lambda item: item[0])
+        ]
+        if balanced:
+            groups.append(balanced_parallel_tree(chain_nodes))
+        else:
+            groups.append(left_deep_parallel_tree(chain_nodes))
+
+    if not groups:
+        raise ModelError("timeline produced no segments")
+    tree = groups[0]
+    for group in groups[1:]:
+        tree = OperatorNode(operator=OperatorKind.SERIAL, left=tree, right=group)
+    return tree

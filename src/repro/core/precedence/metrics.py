@@ -1,0 +1,61 @@
+"""Structural metrics over precedence trees (depth, leaves, isomorphism)."""
+
+from __future__ import annotations
+
+from ..parameters import TaskClass
+from .tree import LeafNode, OperatorKind, OperatorNode, PrecedenceNode
+
+
+def tree_depth(node: PrecedenceNode) -> int:
+    """Depth of the tree (a single leaf has depth 0)."""
+    if isinstance(node, LeafNode):
+        return 0
+    return 1 + max(tree_depth(node.left), tree_depth(node.right))
+
+
+def tree_leaves(node: PrecedenceNode) -> list[LeafNode]:
+    """All leaves of the tree in left-to-right order."""
+    if isinstance(node, LeafNode):
+        return [node]
+    return tree_leaves(node.left) + tree_leaves(node.right)
+
+
+def tree_operator_counts(node: PrecedenceNode) -> dict[OperatorKind, int]:
+    """Number of S and P operator nodes in the tree."""
+    counts = {OperatorKind.SERIAL: 0, OperatorKind.PARALLEL: 0}
+
+    def visit(current: PrecedenceNode) -> None:
+        if isinstance(current, LeafNode):
+            return
+        counts[current.operator] += 1
+        visit(current.left)
+        visit(current.right)
+
+    visit(node)
+    return counts
+
+
+def leaves_per_class(node: PrecedenceNode) -> dict[TaskClass, int]:
+    """Number of leaves per task class."""
+    counts: dict[TaskClass, int] = {cls: 0 for cls in TaskClass}
+    for leaf in tree_leaves(node):
+        counts[leaf.task_class] += 1
+    return counts
+
+
+def _canonical_form(node: PrecedenceNode) -> tuple:
+    """Order-insensitive canonical form used for isomorphism checks.
+
+    Leaves are reduced to their task class (instance indices are irrelevant
+    for isomorphism); children of a node are sorted by their canonical form,
+    which makes the comparison insensitive to left/right swaps.
+    """
+    if isinstance(node, LeafNode):
+        return ("leaf", node.task_class.value)
+    children = sorted((_canonical_form(node.left), _canonical_form(node.right)))
+    return (node.operator.value, children[0], children[1])
+
+
+def trees_isomorphic(first: PrecedenceNode, second: PrecedenceNode) -> bool:
+    """Whether two precedence trees are isomorphic (up to child order and task ids)."""
+    return _canonical_form(first) == _canonical_form(second)

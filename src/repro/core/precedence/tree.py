@@ -1,0 +1,86 @@
+"""Precedence-tree node types.
+
+Two node kinds exist:
+
+* :class:`LeafNode` — a task instance with its (current) mean response time
+  and coefficient of variation;
+* :class:`OperatorNode` — an internal node combining exactly two children
+  with either the serial (``S``) or parallel-and (``P``) operator, keeping
+  the tree binary as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from ...exceptions import ModelError
+from ..parameters import TaskClass
+from ..task_instances import TaskInstance
+
+
+class OperatorKind(enum.Enum):
+    """Operator of an internal precedence-tree node."""
+
+    SERIAL = "S"
+    PARALLEL = "P"
+
+
+@dataclass(frozen=True)
+class LeafNode:
+    """A leaf: one task instance with its response-time statistics."""
+
+    instance: TaskInstance
+    mean_response_time: float
+    coefficient_of_variation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_response_time < 0:
+            raise ModelError("leaf response time must be non-negative")
+        if self.coefficient_of_variation < 0:
+            raise ModelError("leaf CV must be non-negative")
+
+    @property
+    def task_class(self) -> TaskClass:
+        """Task class of the leaf's instance."""
+        return self.instance.task_class
+
+    @property
+    def label(self) -> str:
+        """Short display label of the leaf."""
+        return self.instance.label
+
+
+@dataclass(frozen=True)
+class OperatorNode:
+    """An internal node combining two subtrees with S or P semantics."""
+
+    operator: OperatorKind
+    left: "PrecedenceNode"
+    right: "PrecedenceNode"
+
+    @property
+    def children(self) -> tuple["PrecedenceNode", "PrecedenceNode"]:
+        """The two children as a tuple."""
+        return (self.left, self.right)
+
+    @property
+    def label(self) -> str:
+        """Operator symbol (``S`` or ``P``)."""
+        return self.operator.value
+
+
+#: A precedence-tree node is either a leaf or an operator node.
+PrecedenceNode = Union[LeafNode, OperatorNode]
+
+
+def render_tree(node: PrecedenceNode, indent: int = 0) -> str:
+    """ASCII rendering of a precedence tree (used by examples and __repr__ dumps)."""
+    pad = "  " * indent
+    if isinstance(node, LeafNode):
+        return f"{pad}{node.label} ({node.mean_response_time:.2f}s)"
+    lines = [f"{pad}{node.label}"]
+    lines.append(render_tree(node.left, indent + 1))
+    lines.append(render_tree(node.right, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Task instances: the individual tasks the timeline places on nodes.
+
+The analytic model works with *classes* of tasks (map, shuffle-sort, merge)
+for the queueing part, but the timeline and the precedence tree need the
+individual task instances of one job: ``m`` map instances and ``r`` reduce
+instances, each reduce contributing one shuffle-sort and one merge leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .parameters import ModelInput, TaskClass
+
+
+@dataclass(frozen=True)
+class TaskInstance:
+    """One task (or reduce subtask) instance of a modelled job."""
+
+    task_class: TaskClass
+    index: int
+    #: Index of the reduce task this subtask belongs to (shuffle-sort / merge
+    #: instances only; ``None`` for maps).
+    reduce_index: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError("task index must be non-negative")
+        if self.task_class is TaskClass.MAP and self.reduce_index is not None:
+            raise ConfigurationError("map instances have no reduce_index")
+        if self.task_class is not TaskClass.MAP and self.reduce_index is None:
+            raise ConfigurationError(
+                f"{self.task_class.value} instances must carry a reduce_index"
+            )
+
+    @property
+    def label(self) -> str:
+        """Short display label, e.g. ``m3`` or ``ss0`` / ``mg0``."""
+        prefix = {
+            TaskClass.MAP: "m",
+            TaskClass.SHUFFLE_SORT: "ss",
+            TaskClass.MERGE: "mg",
+        }[self.task_class]
+        return f"{prefix}{self.index}"
+
+
+def expand_task_instances(model_input: ModelInput) -> list[TaskInstance]:
+    """Enumerate the task instances of one job described by ``model_input``.
+
+    Returns ``num_maps`` map instances followed by, for every reduce task,
+    one shuffle-sort and one merge instance.
+    """
+    instances: list[TaskInstance] = [
+        TaskInstance(task_class=TaskClass.MAP, index=i) for i in range(model_input.num_maps)
+    ]
+    for reduce_index in range(model_input.num_reduces):
+        instances.append(
+            TaskInstance(
+                task_class=TaskClass.SHUFFLE_SORT,
+                index=reduce_index,
+                reduce_index=reduce_index,
+            )
+        )
+        instances.append(
+            TaskInstance(
+                task_class=TaskClass.MERGE,
+                index=reduce_index,
+                reduce_index=reduce_index,
+            )
+        )
+    return instances

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch a single base class.  Subclasses are grouped by subsystem:
+configuration, simulation, modelling, and analysis.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a cluster, job, or model configuration is invalid."""
+
+
+class ValidationError(ReproError):
+    """Raised when user-supplied values fail validation checks."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event YARN simulator reaches an invalid state."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when the scheduler cannot satisfy an internally consistent request."""
+
+
+class ModelError(ReproError):
+    """Raised when the analytic performance model cannot produce an estimate."""
+
+
+class ConvergenceError(ModelError):
+    """Raised when the modified MVA fixed point does not converge."""
+
+
+class DistributionError(ModelError):
+    """Raised when a response-time distribution cannot be fitted."""
+
+
+class TraceError(ReproError):
+    """Raised when a job trace cannot be parsed or is inconsistent."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment definition or run is invalid."""

@@ -1,0 +1,26 @@
+"""Evaluation harness: the experiments of the paper's Section 5.
+
+:mod:`repro.experiments.runner` runs one experiment point (simulate the
+workload, evaluate both model variants, compute errors);
+:mod:`repro.experiments.figures` defines the parameter grids of every figure
+of the paper and knows how to regenerate the corresponding series.
+"""
+
+from .runner import ExperimentPoint, ExperimentSeries, run_experiment_point, run_series
+from .figures import (
+    FIGURE_DEFINITIONS,
+    FigureDefinition,
+    figure_definition,
+    run_figure,
+)
+
+__all__ = [
+    "ExperimentPoint",
+    "ExperimentSeries",
+    "run_experiment_point",
+    "run_series",
+    "FIGURE_DEFINITIONS",
+    "FigureDefinition",
+    "figure_definition",
+    "run_figure",
+]

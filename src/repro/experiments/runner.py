@@ -1,0 +1,161 @@
+"""Run one experiment point: simulate the workload and evaluate the model.
+
+An *experiment point* fixes the number of nodes, the input size, the block
+size, and the number of concurrent jobs.  For each point we
+
+1. run the YARN simulator ``repetitions`` times with different seeds (the
+   paper repeats every experiment 5 times) and take the median of the average
+   job response times as the **measured** value;
+2. build the analytic model input for the same workload and evaluate the
+   **fork/join** and **Tripathi** variants;
+3. record the relative errors of both estimates.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from ..analysis.errors import relative_error
+from ..config import ClusterConfig, SchedulerConfig
+from ..core.estimators import EstimatorKind
+from ..core.model import Hadoop2PerformanceModel
+from ..exceptions import ExperimentError
+from ..hadoop.simulator import ClusterSimulator
+from ..workloads.generators import WorkloadSpec, paper_cluster, paper_scheduler
+from ..workloads.profiles import model_input_from_profile
+
+#: Number of simulator repetitions per point (the paper uses 5).
+DEFAULT_REPETITIONS = 3
+#: Base seed from which the per-repetition seeds are derived.
+DEFAULT_BASE_SEED = 1234
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """Result of one experiment point."""
+
+    num_nodes: int
+    num_jobs: int
+    input_size_bytes: int
+    block_size_bytes: int
+    measured_seconds: float
+    forkjoin_seconds: float
+    tripathi_seconds: float
+
+    @property
+    def forkjoin_error(self) -> float:
+        """Signed relative error of the fork/join estimate."""
+        return relative_error(self.forkjoin_seconds, self.measured_seconds)
+
+    @property
+    def tripathi_error(self) -> float:
+        """Signed relative error of the Tripathi estimate."""
+        return relative_error(self.tripathi_seconds, self.measured_seconds)
+
+
+@dataclass
+class ExperimentSeries:
+    """A sweep over one x-axis (nodes or jobs) at fixed other parameters."""
+
+    x_label: str
+    x_values: list[float] = field(default_factory=list)
+    points: list[ExperimentPoint] = field(default_factory=list)
+
+    def series(self) -> dict[str, list[float]]:
+        """Figure-style series: measured, fork/join, Tripathi."""
+        return {
+            "HadoopSetup": [point.measured_seconds for point in self.points],
+            "Fork/join": [point.forkjoin_seconds for point in self.points],
+            "Tripathi": [point.tripathi_seconds for point in self.points],
+        }
+
+    def errors(self, estimator: EstimatorKind) -> list[float]:
+        """Signed relative errors of one estimator over the series."""
+        if estimator is EstimatorKind.FORK_JOIN:
+            return [point.forkjoin_error for point in self.points]
+        return [point.tripathi_error for point in self.points]
+
+
+def simulate_measured_response(
+    workload: WorkloadSpec,
+    cluster: ClusterConfig,
+    scheduler: SchedulerConfig,
+    repetitions: int = DEFAULT_REPETITIONS,
+    base_seed: int = DEFAULT_BASE_SEED,
+) -> float:
+    """Median over repetitions of the mean job response time (the "measurement")."""
+    if repetitions <= 0:
+        raise ExperimentError("repetitions must be positive")
+    means = []
+    for repetition in range(repetitions):
+        simulator = ClusterSimulator(cluster, scheduler, seed=base_seed + repetition)
+        for job_config in workload.job_configs():
+            simulator.submit_job(job_config, workload.profile.simulator_profile())
+        result = simulator.run()
+        means.append(result.mean_response_time)
+    return statistics.median(means)
+
+
+def run_experiment_point(
+    workload: WorkloadSpec,
+    num_nodes: int,
+    repetitions: int = DEFAULT_REPETITIONS,
+    base_seed: int = DEFAULT_BASE_SEED,
+    cluster: ClusterConfig | None = None,
+    scheduler: SchedulerConfig | None = None,
+) -> ExperimentPoint:
+    """Run the simulator and both model variants for one experiment point."""
+    cluster = cluster or paper_cluster(num_nodes)
+    if cluster.num_nodes != num_nodes:
+        cluster = cluster.with_nodes(num_nodes)
+    scheduler = scheduler or paper_scheduler()
+
+    measured = simulate_measured_response(
+        workload, cluster, scheduler, repetitions=repetitions, base_seed=base_seed
+    )
+
+    job_config = workload.job_configs()[0]
+    model_input = model_input_from_profile(
+        workload.profile,
+        cluster,
+        job_config,
+        num_jobs=workload.num_jobs,
+        slow_start=scheduler.slowstart_enabled,
+    )
+    model = Hadoop2PerformanceModel(model_input)
+    predictions = model.predict_all()
+
+    return ExperimentPoint(
+        num_nodes=num_nodes,
+        num_jobs=workload.num_jobs,
+        input_size_bytes=workload.input_size_bytes,
+        block_size_bytes=workload.block_size_bytes,
+        measured_seconds=measured,
+        forkjoin_seconds=predictions[EstimatorKind.FORK_JOIN].job_response_time,
+        tripathi_seconds=predictions[EstimatorKind.TRIPATHI].job_response_time,
+    )
+
+
+def run_series(
+    workloads: list[WorkloadSpec],
+    node_counts: list[int],
+    x_label: str,
+    x_values: list[float],
+    repetitions: int = DEFAULT_REPETITIONS,
+    base_seed: int = DEFAULT_BASE_SEED,
+) -> ExperimentSeries:
+    """Run a sweep; ``workloads`` and ``node_counts`` are aligned with ``x_values``."""
+    if not (len(workloads) == len(node_counts) == len(x_values)):
+        raise ExperimentError("workloads, node_counts and x_values must align")
+    series = ExperimentSeries(x_label=x_label, x_values=list(x_values))
+    for workload, num_nodes in zip(workloads, node_counts):
+        series.points.append(
+            run_experiment_point(
+                workload,
+                num_nodes,
+                repetitions=repetitions,
+                base_seed=base_seed,
+            )
+        )
+    return series

@@ -1,0 +1,52 @@
+"""Hadoop 2.x / YARN cluster simulator.
+
+The paper validates its analytic model against measurements from a real
+Hadoop 2.x cluster.  This subpackage is the substitute for that cluster
+(see DESIGN.md, "Substitutions"): a deterministic discrete-event simulator of
+a YARN cluster executing MapReduce jobs, faithful to the mechanisms the paper
+identifies as relevant for performance:
+
+* the YARN components — :class:`~repro.hadoop.rm.ResourceManager` with a
+  pluggable scheduler (Capacity / FIFO / Fair),
+  :class:`~repro.hadoop.nm.NodeManager` per node, and one
+  :class:`~repro.hadoop.am.MRAppMaster` per job (Section 3.2 of the paper);
+* the container request model — :class:`~repro.hadoop.resources.ResourceRequest`
+  objects with priorities (map = 20 > reduce = 10), locality constraints and
+  late binding (Section 3.3, Table 1);
+* the map / reduce task lifecycles (pending → scheduled → assigned →
+  completed, Figures 2-3), reducer slow start, and node-local placement of
+  map tasks (Section 3.4);
+* resource contention — processor-shared CPU and disk per node and a shared
+  network fabric for the shuffle, which produce the queueing delays the
+  analytic model has to predict.
+
+The public entry point is :class:`~repro.hadoop.simulator.ClusterSimulator`.
+"""
+
+from .cluster import Cluster, Node
+from .hdfs import Block, HdfsNamespace, InputSplit
+from .resources import Container, Priority, Resource, ResourceRequest
+from .tasks import TaskAttempt, TaskState, TaskType
+from .job import MapReduceJob
+from .simulator import ClusterSimulator, SimulationResult
+from .trace import JobTrace, TaskTrace
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "Block",
+    "HdfsNamespace",
+    "InputSplit",
+    "Container",
+    "Priority",
+    "Resource",
+    "ResourceRequest",
+    "TaskAttempt",
+    "TaskState",
+    "TaskType",
+    "MapReduceJob",
+    "ClusterSimulator",
+    "SimulationResult",
+    "JobTrace",
+    "TaskTrace",
+]

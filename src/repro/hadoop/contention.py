@@ -1,0 +1,64 @@
+"""Resource-sharing (contention) model for the execution engine.
+
+Each node offers three resources: CPU cores, disk bandwidth, and inbound
+network bandwidth.  Active work stages share those resources under
+processor-sharing:
+
+* a CPU stage gets at most one core (tasks are single-threaded) and an equal
+  share of the node's cores when more stages than cores are active;
+* disk stages share the node's aggregate disk bandwidth equally;
+* network stages (shuffle fetches) share the destination node's NIC equally.
+
+These sharing rules are what produce the queueing delays the analytic model
+has to capture with its MVA step: with more concurrent containers per node
+(more jobs, or more tasks per job) every stage slows down proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import NodeSpec
+from ..exceptions import SimulationError
+from .tasks import StageKind
+
+
+@dataclass(frozen=True)
+class ResourceDemandCount:
+    """Number of active (non-stalled) stages per resource on one node."""
+
+    cpu: int = 0
+    disk: int = 0
+    network: int = 0
+
+    def count(self, kind: StageKind) -> int:
+        """Active-stage count for ``kind``."""
+        if kind is StageKind.CPU:
+            return self.cpu
+        if kind is StageKind.DISK:
+            return self.disk
+        return self.network
+
+
+class SharingModel:
+    """Computes the processing rate of a stage given per-node demand counts."""
+
+    def __init__(self, node_spec: NodeSpec) -> None:
+        self.node_spec = node_spec
+
+    def rate(self, kind: StageKind, demand: ResourceDemandCount) -> float:
+        """Processing rate for one stage of ``kind``.
+
+        Returns core-seconds/second for CPU stages (i.e. dimensionless
+        progress rate) and bytes/second for disk and network stages.
+        """
+        active = demand.count(kind)
+        if active <= 0:
+            raise SimulationError("rate requested with no active stage")
+        spec = self.node_spec
+        if kind is StageKind.CPU:
+            share = min(1.0, spec.cpu_cores / active)
+            return share * spec.cpu_speed_factor
+        if kind is StageKind.DISK:
+            return spec.disk_bandwidth * spec.disk_count / active
+        return spec.network_bandwidth / active

@@ -1,0 +1,188 @@
+"""Fluid processor-sharing execution engine.
+
+The engine advances the work stages of all running task attempts between
+discrete events.  Between two events the set of active stages is constant, so
+each stage progresses at a constant rate determined by the
+:class:`~repro.hadoop.contention.SharingModel`; the next interesting instant
+is the earliest stage completion (or shuffle stall boundary).
+
+The engine deliberately knows nothing about YARN: it only sees running tasks,
+the node each one runs on, and the shuffle availability tracker.  The
+:class:`~repro.hadoop.simulator.ClusterSimulator` couples it with the
+ResourceManager / ApplicationMaster logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import SimulationError
+from .cluster import Cluster
+from .contention import ResourceDemandCount, SharingModel
+from .shuffle import ShuffleTracker
+from .tasks import StageKind, TaskAttempt, TaskType
+
+#: Numerical slack when deciding whether a stage has finished.
+_EPSILON = 1e-9
+#: Upper bound returned when no stage can complete (engine idle / all stalled).
+INFINITY = float("inf")
+
+
+@dataclass
+class _ActiveTask:
+    """A running attempt plus the node hosting it."""
+
+    attempt: TaskAttempt
+    node_id: int
+
+
+class ExecutionEngine:
+    """Advances running task attempts under processor sharing."""
+
+    def __init__(self, cluster: Cluster, shuffle_tracker: ShuffleTracker) -> None:
+        self.cluster = cluster
+        self.shuffle = shuffle_tracker
+        self.sharing = SharingModel(cluster.config.node)
+        self._active: dict[str, _ActiveTask] = {}
+
+    # -- membership --------------------------------------------------------------
+
+    def add_task(self, attempt: TaskAttempt, now: float) -> None:
+        """Start executing ``attempt`` (its first stage becomes active)."""
+        if attempt.task_id in self._active:
+            raise SimulationError(f"task {attempt.task_id} is already executing")
+        if attempt.assigned_node is None:
+            raise SimulationError(f"task {attempt.task_id} has no node")
+        stage = attempt.current_stage()
+        if stage is None:
+            raise SimulationError(f"task {attempt.task_id} has no work to do")
+        stage.started_at = now
+        self._active[attempt.task_id] = _ActiveTask(attempt=attempt, node_id=attempt.assigned_node)
+
+    def remove_task(self, attempt: TaskAttempt) -> None:
+        """Stop tracking a (completed) attempt."""
+        self._active.pop(attempt.task_id, None)
+
+    @property
+    def active_tasks(self) -> list[TaskAttempt]:
+        """Attempts currently executing."""
+        return [entry.attempt for entry in self._active.values()]
+
+    def has_work(self) -> bool:
+        """Whether any attempt is currently executing."""
+        return bool(self._active)
+
+    # -- rate computation ----------------------------------------------------------
+
+    def _demand_counts(self) -> dict[int, ResourceDemandCount]:
+        """Per-node counts of active, non-stalled stages per resource."""
+        cpu: dict[int, int] = {}
+        disk: dict[int, int] = {}
+        network: dict[int, int] = {}
+        for entry in self._active.values():
+            stage = entry.attempt.current_stage()
+            if stage is None:
+                continue
+            if stage.kind is StageKind.NETWORK and self.shuffle.is_stalled(entry.attempt):
+                continue
+            node = entry.node_id
+            if stage.kind is StageKind.CPU:
+                cpu[node] = cpu.get(node, 0) + 1
+            elif stage.kind is StageKind.DISK:
+                disk[node] = disk.get(node, 0) + 1
+            else:
+                network[node] = network.get(node, 0) + 1
+        nodes = set(cpu) | set(disk) | set(network)
+        return {
+            node: ResourceDemandCount(
+                cpu=cpu.get(node, 0), disk=disk.get(node, 0), network=network.get(node, 0)
+            )
+            for node in nodes
+        }
+
+    def _stage_rate(self, entry: _ActiveTask, demand: dict[int, ResourceDemandCount]) -> float:
+        """Current processing rate for the entry's current stage (0 when stalled)."""
+        stage = entry.attempt.current_stage()
+        if stage is None:
+            return 0.0
+        if stage.kind is StageKind.NETWORK and self.shuffle.is_stalled(entry.attempt):
+            return 0.0
+        node_demand = demand.get(entry.node_id)
+        if node_demand is None or node_demand.count(stage.kind) == 0:
+            return 0.0
+        return self.sharing.rate(stage.kind, node_demand)
+
+    # -- time stepping -----------------------------------------------------------
+
+    def time_to_next_completion(self) -> float:
+        """Smallest time until some active stage completes (or hits its shuffle cap).
+
+        Returns :data:`INFINITY` when nothing is running or everything is
+        stalled waiting for map output.
+        """
+        demand = self._demand_counts()
+        horizon = INFINITY
+        for entry in self._active.values():
+            stage = entry.attempt.current_stage()
+            if stage is None:
+                continue
+            rate = self._stage_rate(entry, demand)
+            if rate <= 0:
+                continue
+            remaining = stage.remaining
+            if stage.kind is StageKind.NETWORK and entry.attempt.task_type is TaskType.REDUCE:
+                remaining = min(remaining, self.shuffle.processable_bytes(entry.attempt))
+                if remaining <= _EPSILON:
+                    continue
+            step = remaining / rate
+            if step <= 1e-9:
+                # Guard against zero-length progress steps from floating-point
+                # residue; treat the stage as completing "now".
+                step = 1e-9
+            horizon = min(horizon, step)
+        return horizon
+
+    def advance(self, dt: float, now: float) -> list[TaskAttempt]:
+        """Progress every active stage by ``dt`` seconds ending at time ``now``.
+
+        Returns the attempts that completed their final stage during this
+        step.  Intermediate stage transitions are handled internally (the
+        next stage starts immediately at ``now``).
+        """
+        if dt < 0:
+            raise SimulationError("cannot advance time backwards")
+        demand = self._demand_counts()
+        completed: list[TaskAttempt] = []
+        if dt > 0:
+            for entry in self._active.values():
+                stage = entry.attempt.current_stage()
+                if stage is None:
+                    continue
+                rate = self._stage_rate(entry, demand)
+                if rate <= 0:
+                    continue
+                stage.remaining -= rate * dt
+                if stage.is_finished:
+                    stage.remaining = 0.0
+                if entry.attempt.task_type is TaskType.REDUCE and stage.kind is StageKind.NETWORK:
+                    entry.attempt.shuffled_bytes = stage.amount - stage.remaining
+        # Handle stage transitions and task completions at the new time: stamp
+        # the finish time of every newly finished stage and the start time of
+        # the stage that becomes current.
+        for entry in list(self._active.values()):
+            attempt = entry.attempt
+            for stage in attempt.stages:
+                if stage.is_finished:
+                    if stage.finished_at is None:
+                        stage.finished_at = now
+                        if stage.started_at is None:
+                            stage.started_at = now  # zero-work stage
+                    continue
+                if stage.started_at is None:
+                    stage.started_at = now
+                break
+            if attempt.is_complete:
+                completed.append(attempt)
+        for attempt in completed:
+            self.remove_task(attempt)
+        return completed

@@ -1,0 +1,63 @@
+"""Simulation-wide metric collection.
+
+Collects cluster-level counters while a simulation runs: container grants per
+priority, data-local vs. remote map launches, per-node busy time, and the
+makespan.  These are not needed by the analytic model itself but make the
+simulator a credible stand-in for a monitored Hadoop cluster and are used by
+a few tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .resources import Container, Priority
+from .tasks import TaskAttempt, TaskType
+
+
+@dataclass
+class SimulationMetrics:
+    """Counters accumulated during one simulation run."""
+
+    containers_granted: dict[str, int] = field(
+        default_factory=lambda: {"am": 0, "map": 0, "reduce": 0}
+    )
+    data_local_maps: int = 0
+    remote_maps: int = 0
+    tasks_completed: dict[str, int] = field(
+        default_factory=lambda: {"map": 0, "reduce": 0}
+    )
+    #: Simulation time of the last processed event.
+    makespan: float = 0.0
+    #: Number of scheduling (allocation) passes performed.
+    allocation_passes: int = 0
+
+    def record_grant(self, container: Container) -> None:
+        """Count a granted container by its priority class."""
+        if container.priority is Priority.AM:
+            self.containers_granted["am"] += 1
+        elif container.priority is Priority.MAP:
+            self.containers_granted["map"] += 1
+        else:
+            self.containers_granted["reduce"] += 1
+
+    def record_launch(self, task: TaskAttempt, data_local: bool) -> None:
+        """Count a task launch and its locality (maps only)."""
+        if task.task_type is TaskType.MAP:
+            if data_local:
+                self.data_local_maps += 1
+            else:
+                self.remote_maps += 1
+
+    def record_completion(self, task: TaskAttempt, time: float) -> None:
+        """Count a task completion and advance the makespan."""
+        self.tasks_completed[task.task_type.value] += 1
+        self.makespan = max(self.makespan, time)
+
+    @property
+    def data_local_fraction(self) -> float:
+        """Fraction of map tasks launched data-locally."""
+        total = self.data_local_maps + self.remote_maps
+        if total == 0:
+            return 1.0
+        return self.data_local_maps / total

@@ -1,0 +1,62 @@
+"""NodeManager: per-node container bookkeeping and launch latency.
+
+The NodeManager is the per-node YARN daemon that launches, monitors and stops
+containers on behalf of the ApplicationMasters (paper Section 3.2).  In the
+simulator it tracks which containers run on its node and models the
+localisation / JVM start latency between the grant of a container and the
+moment its task starts doing useful work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import SimulationError
+from .cluster import Node
+from .resources import Container
+
+
+@dataclass
+class NodeManager:
+    """Bookkeeping for the containers hosted on one node."""
+
+    node: Node
+    #: Seconds between container grant and task start (localisation + JVM).
+    launch_delay: float = 0.8
+    _containers: dict[int, Container] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.launch_delay < 0:
+            raise SimulationError("launch_delay must be non-negative")
+
+    def start_container(self, container: Container, now: float) -> float:
+        """Register ``container`` on this node and return its ready time."""
+        if container.node_id != self.node.node_id:
+            raise SimulationError(
+                f"container {container.container_id} targets node {container.node_id}, "
+                f"not {self.node.node_id}"
+            )
+        if container.container_id in self._containers:
+            raise SimulationError(
+                f"container {container.container_id} is already running on {self.node.name}"
+            )
+        self._containers[container.container_id] = container
+        return now + self.launch_delay
+
+    def stop_container(self, container: Container, now: float) -> None:
+        """Remove ``container`` from this node and stamp its release time."""
+        if container.container_id not in self._containers:
+            raise SimulationError(
+                f"container {container.container_id} is not running on {self.node.name}"
+            )
+        del self._containers[container.container_id]
+        container.released_at = now
+
+    @property
+    def running_containers(self) -> list[Container]:
+        """Containers currently hosted on this node."""
+        return list(self._containers.values())
+
+    def container_count(self) -> int:
+        """Number of containers currently hosted."""
+        return len(self._containers)

@@ -1,0 +1,42 @@
+"""Pluggable YARN schedulers.
+
+The paper assumes the default **Capacity** scheduler with a single root queue,
+which degenerates to FIFO ordering across applications (Section 4.2.2,
+scheduling assumption 1).  A plain FIFO scheduler and a Fair scheduler are
+also provided so the effect of this assumption can be studied (ablation
+benches).
+"""
+
+from .base import Assignment, Scheduler
+from .capacity import CapacityScheduler
+from .fifo import FifoScheduler
+from .fair import FairScheduler
+
+
+def create_scheduler(name: str) -> Scheduler:
+    """Factory mapping a scheduler name to an instance.
+
+    Parameters
+    ----------
+    name:
+        ``"capacity"``, ``"fifo"`` or ``"fair"``.
+    """
+    registry = {
+        "capacity": CapacityScheduler,
+        "fifo": FifoScheduler,
+        "fair": FairScheduler,
+    }
+    try:
+        return registry[name]()
+    except KeyError as exc:
+        raise ValueError(f"unknown scheduler {name!r}") from exc
+
+
+__all__ = [
+    "Assignment",
+    "Scheduler",
+    "CapacityScheduler",
+    "FifoScheduler",
+    "FairScheduler",
+    "create_scheduler",
+]

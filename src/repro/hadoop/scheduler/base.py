@@ -1,0 +1,118 @@
+"""Scheduler interface shared by the Capacity, FIFO and Fair schedulers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..cluster import Cluster
+from ..resources import Priority, Resource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from ..am import MRAppMaster
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One container assignment decided by a scheduler pass."""
+
+    job_id: int
+    node_id: int
+    priority: Priority
+    resource: Resource
+    task_type: str
+    #: Identifier of the concrete pending task selected for this container
+    #: (the AM may rebind it — late binding — but the simulator honours it).
+    task_id: str | None = None
+
+
+class Scheduler(ABC):
+    """A YARN scheduler: decides which outstanding requests get containers.
+
+    Schedulers are stateless between calls; each :meth:`assign` pass looks at
+    the current free capacity of the cluster and the outstanding requests of
+    the registered ApplicationMasters and returns the containers to grant.
+    The ResourceManager applies the assignments (reserving node resources and
+    notifying the AMs).
+    """
+
+    #: Human-readable scheduler name.
+    name: str = "base"
+
+    @abstractmethod
+    def application_order(self, applications: list["MRAppMaster"]) -> list["MRAppMaster"]:
+        """Return the order in which applications are offered free capacity."""
+
+    def assign(
+        self,
+        cluster: Cluster,
+        applications: list["MRAppMaster"],
+    ) -> list[Assignment]:
+        """Produce container assignments for the current cluster state.
+
+        The default implementation walks applications in
+        :meth:`application_order`, asks each for its outstanding requests
+        (already sorted by priority, maps before reduces), and places each
+        container honouring locality preferences when possible.
+        """
+        assignments: list[Assignment] = []
+        # Track capacity tentatively consumed by this pass without mutating
+        # the real nodes; the ResourceManager commits the assignments.
+        tentative: dict[int, Resource] = {
+            node.node_id: node.available for node in cluster
+        }
+
+        for app in self.application_order(applications):
+            for ask in app.container_asks():
+                placed_node = self._place(
+                    cluster, tentative, ask.preferred_nodes, ask.resource
+                )
+                if placed_node is None:
+                    continue
+                tentative[placed_node] = tentative[placed_node] - ask.resource
+                assignments.append(
+                    Assignment(
+                        job_id=app.job.job_id,
+                        node_id=placed_node,
+                        priority=ask.priority,
+                        resource=ask.resource,
+                        task_type=ask.task_type,
+                        task_id=ask.task_id,
+                    )
+                )
+        return assignments
+
+    @staticmethod
+    def _place(
+        cluster: Cluster,
+        tentative: dict[int, Resource],
+        preferred_nodes: tuple[int, ...],
+        resource: Resource,
+    ) -> int | None:
+        """Pick a node for one container.
+
+        Preference order: (1) a preferred (data-local) node with capacity,
+        (2) the node with the lowest occupancy rate that has capacity — the
+        "uniform distribution over nodes with the highest remaining capacity"
+        rule of paper Section 4.2.2.  Occupancy is computed against the
+        capacity still free in *this* scheduling pass (``tentative``).
+        """
+        def fits(node_id: int) -> bool:
+            return tentative[node_id].covers(resource)
+
+        for node_id in preferred_nodes:
+            if 0 <= node_id < len(cluster) and fits(node_id):
+                return node_id
+
+        def occupancy(node_id: int) -> float:
+            capacity = cluster.node(node_id).capacity
+            if capacity.memory_bytes == 0:
+                return 0.0
+            free = tentative[node_id].memory_bytes
+            return 1.0 - free / capacity.memory_bytes
+
+        candidates = [node.node_id for node in cluster if fits(node.node_id)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda node_id: (occupancy(node_id), node_id))

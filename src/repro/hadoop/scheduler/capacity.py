@@ -1,0 +1,30 @@
+"""Capacity scheduler with a single root queue.
+
+The paper's first scheduling assumption (Section 4.2.2): the ResourceManager
+uses the Capacity scheduler, there are no hierarchical queues, only one root
+queue — so resources are offered to applications in FIFO order of submission.
+Within one application, requests are served by priority (maps before
+reduces), which the base class already handles through the AM's ask ordering.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..am import MRAppMaster
+
+
+class CapacityScheduler(Scheduler):
+    """Single-root-queue Capacity scheduler (FIFO across applications)."""
+
+    name = "capacity"
+
+    def application_order(self, applications: list["MRAppMaster"]) -> list["MRAppMaster"]:
+        """FIFO by submission time, ties broken by job id."""
+        return sorted(
+            applications,
+            key=lambda app: (app.job.submitted_at if app.job.submitted_at is not None else 0.0, app.job.job_id),
+        )

@@ -1,0 +1,29 @@
+"""Fair scheduler (extension beyond the paper's assumptions).
+
+Offers free capacity to the application currently holding the *fewest*
+allocated containers, approximating YARN's FairScheduler with equal weights.
+Used by the scheduler-comparison example and the scheduling ablation bench to
+quantify how much the paper's FIFO assumption matters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..am import MRAppMaster
+
+
+class FairScheduler(Scheduler):
+    """Least-allocated-first ordering across applications."""
+
+    name = "fair"
+
+    def application_order(self, applications: list["MRAppMaster"]) -> list["MRAppMaster"]:
+        """Order by number of currently held containers, fewest first."""
+        return sorted(
+            applications,
+            key=lambda app: (app.held_containers(), app.job.job_id),
+        )

@@ -1,0 +1,28 @@
+"""Plain FIFO scheduler.
+
+Functionally equivalent to the single-queue Capacity scheduler for the
+workloads modelled here; kept as a separate class so experiments can make the
+scheduling policy explicit and so the Fair scheduler has a natural sibling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..am import MRAppMaster
+
+
+class FifoScheduler(Scheduler):
+    """First-in-first-out across applications."""
+
+    name = "fifo"
+
+    def application_order(self, applications: list["MRAppMaster"]) -> list["MRAppMaster"]:
+        """Order strictly by submission time (ties by job id)."""
+        return sorted(
+            applications,
+            key=lambda app: (app.job.submitted_at if app.job.submitted_at is not None else 0.0, app.job.job_id),
+        )

@@ -1,0 +1,85 @@
+"""Shuffle availability model.
+
+The shuffle phase of a reduce task can only fetch the output of map tasks
+that have already completed — this is the map→shuffle pipeline the paper
+models through reducer slow start and through the dependency of the
+shuffle-sort subtask on the first/last map task (Algorithm 1, lines 7-11).
+
+:class:`ShuffleTracker` answers, for a running reduce task, how many bytes of
+*remote* map output are currently available to fetch over the network.  The
+execution engine uses this cap to stall a shuffle stage that has caught up
+with the map wave, and un-stalls it as further maps finish.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import SimulationError
+from .job import MapReduceJob
+from .tasks import StageKind, TaskAttempt, TaskType
+
+
+class ShuffleTracker:
+    """Per-job view of how much shuffle data a reducer can currently fetch."""
+
+    def __init__(self, jobs: dict[int, MapReduceJob]) -> None:
+        self._jobs = jobs
+
+    def job_for(self, task: TaskAttempt) -> MapReduceJob:
+        """The job owning ``task``."""
+        try:
+            return self._jobs[task.job_id]
+        except KeyError as exc:
+            raise SimulationError(f"unknown job id {task.job_id}") from exc
+
+    def network_cap_bytes(self, task: TaskAttempt) -> float:
+        """Upper bound on the network bytes ``task``'s shuffle may have processed.
+
+        * Before all maps of the job finish, the cap is the remote portion of
+          the map output already produced (from the reducer's standpoint).
+        * Once every map has completed, the cap equals the full planned
+          network work of the stage, letting it run to completion even if the
+          plan slightly over- or under-estimated remoteness.
+        """
+        if task.task_type is not TaskType.REDUCE:
+            raise SimulationError("network caps only apply to reduce tasks")
+        job = self.job_for(task)
+        network_stage = next(
+            (stage for stage in task.stages if stage.kind is StageKind.NETWORK), None
+        )
+        if network_stage is None:
+            return 0.0
+        if job.all_maps_completed():
+            return float(network_stage.amount)
+        available_remote = job.shuffle_remote_available_bytes(task.assigned_node)
+        return min(float(network_stage.amount), available_remote)
+
+    #: Shuffle amounts below one byte are treated as "nothing left to fetch";
+    #: using a whole byte (rather than a tiny epsilon) keeps the fluid engine
+    #: from scheduling zero-length progress steps when a reducer has caught up
+    #: with the map wave.
+    _STALL_THRESHOLD_BYTES = 1.0
+
+    def is_stalled(self, task: TaskAttempt) -> bool:
+        """Whether the reduce task's *current* network stage cannot progress now."""
+        stage = task.current_stage()
+        if stage is None or stage.kind is not StageKind.NETWORK:
+            return False
+        if task.task_type is not TaskType.REDUCE:
+            return False
+        processed = stage.amount - stage.remaining
+        cap = self.network_cap_bytes(task)
+        if self.job_for(task).all_maps_completed():
+            return False
+        return cap - processed <= self._STALL_THRESHOLD_BYTES
+
+    def processable_bytes(self, task: TaskAttempt) -> float:
+        """Bytes the current network stage can still process before stalling."""
+        stage = task.current_stage()
+        if stage is None or stage.kind is not StageKind.NETWORK:
+            return 0.0
+        processed = stage.amount - stage.remaining
+        cap = self.network_cap_bytes(task)
+        available = min(stage.remaining, cap - processed)
+        if available <= self._STALL_THRESHOLD_BYTES and not self.job_for(task).all_maps_completed():
+            return 0.0
+        return max(0.0, available)

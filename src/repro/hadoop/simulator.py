@@ -1,0 +1,300 @@
+"""Cluster simulator facade.
+
+:class:`ClusterSimulator` wires together the YARN components (cluster, HDFS
+namespace, ResourceManager + scheduler, per-job ApplicationMasters,
+NodeManagers) with the fluid execution engine and runs the discrete-event
+loop until every submitted job completes.
+
+Typical use::
+
+    from repro.config import ClusterConfig, JobConfig, SchedulerConfig
+    from repro.hadoop import ClusterSimulator
+
+    simulator = ClusterSimulator(ClusterConfig(num_nodes=4), SchedulerConfig(), seed=7)
+    simulator.submit_job(JobConfig(input_size_bytes=gigabytes(1), num_reduces=4))
+    result = simulator.run()
+    print(result.job_traces[0].response_time)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ClusterConfig, JobConfig, SchedulerConfig
+from ..exceptions import SimulationError
+from ..randomness import make_rng, spawn
+from .am import MRAppMaster
+from .cluster import Cluster
+from .engine import INFINITY, ExecutionEngine
+from .events import EventKind, EventQueue
+from .hdfs import HdfsNamespace
+from .job import JobResourceProfile, MapReduceJob
+from .metrics import SimulationMetrics
+from .nm import NodeManager
+from .resources import Container, Priority, Resource
+from .rm import ResourceManager
+from .scheduler import create_scheduler
+from .shuffle import ShuffleTracker
+from .tasks import TaskAttempt, TaskType
+from .trace import JobTrace, build_job_trace
+
+#: Safety bound on the number of event-loop iterations.
+_MAX_ITERATIONS = 2_000_000
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    job_traces: list[JobTrace]
+    metrics: SimulationMetrics
+    makespan: float
+    num_nodes: int
+
+    def trace_for(self, job_id: int) -> JobTrace:
+        """Trace of a specific job."""
+        for trace in self.job_traces:
+            if trace.job_id == job_id:
+                return trace
+        raise SimulationError(f"no trace for job {job_id}")
+
+    @property
+    def response_times(self) -> list[float]:
+        """Response times of all jobs, in job-id order."""
+        return [trace.response_time for trace in sorted(self.job_traces, key=lambda t: t.job_id)]
+
+    @property
+    def mean_response_time(self) -> float:
+        """Average job response time across all submitted jobs."""
+        times = self.response_times
+        if not times:
+            return 0.0
+        return sum(times) / len(times)
+
+
+@dataclass
+class _JobContext:
+    """Internal per-job simulation state."""
+
+    job: MapReduceJob
+    app_master: MRAppMaster
+    am_container: Container | None = None
+    containers: dict[str, Container] = field(default_factory=dict)
+
+
+class ClusterSimulator:
+    """Discrete-event simulator of a YARN cluster running MapReduce jobs."""
+
+    def __init__(
+        self,
+        cluster_config: ClusterConfig,
+        scheduler_config: SchedulerConfig | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.cluster_config = cluster_config
+        self.scheduler_config = scheduler_config or SchedulerConfig()
+        self.cluster = Cluster(cluster_config)
+        self._rng = make_rng(seed)
+        self.hdfs = HdfsNamespace(self.cluster, seed=seed)
+        self.resource_manager = ResourceManager(
+            self.cluster, create_scheduler(self.scheduler_config.scheduler_name)
+        )
+        self.node_managers = {
+            node.node_id: NodeManager(node=node) for node in self.cluster
+        }
+        self.metrics = SimulationMetrics()
+        self._jobs: dict[int, MapReduceJob] = {}
+        self._contexts: dict[int, _JobContext] = {}
+        self._events = EventQueue()
+        self._engine = ExecutionEngine(self.cluster, ShuffleTracker(self._jobs))
+        self._next_job_id = 0
+        self._now = 0.0
+        self._finished = False
+
+    # -- job submission ------------------------------------------------------------
+
+    def submit_job(
+        self,
+        job_config: JobConfig,
+        profile: JobResourceProfile | None = None,
+    ) -> MapReduceJob:
+        """Register a job to be submitted at ``job_config.submission_time``."""
+        if self._finished:
+            raise SimulationError("cannot submit jobs to a finished simulation")
+        profile = profile or JobResourceProfile()
+        splits = self.hdfs.splits_for_job(job_config)
+        job = MapReduceJob(
+            job_id=self._next_job_id,
+            config=job_config,
+            profile=profile,
+            splits=splits,
+        )
+        self._next_job_id += 1
+        app_master = MRAppMaster(
+            job=job,
+            scheduler_config=self.scheduler_config,
+            map_resource=Resource.from_spec(self.cluster_config.map_container),
+            reduce_resource=Resource.from_spec(self.cluster_config.reduce_container),
+            num_cluster_nodes=len(self.cluster),
+            rng=spawn(self._rng, 1)[0],
+        )
+        self._jobs[job.job_id] = job
+        self._contexts[job.job_id] = _JobContext(job=job, app_master=app_master)
+        self._events.push(job_config.submission_time, EventKind.JOB_SUBMIT, job.job_id)
+        return job
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run the simulation until all submitted jobs complete."""
+        if not self._jobs:
+            raise SimulationError("no jobs submitted")
+        if self._finished:
+            raise SimulationError("simulation already ran")
+
+        for _ in range(_MAX_ITERATIONS):
+            if self._all_jobs_complete():
+                break
+            progressed = self._allocate()
+            next_completion = self._engine.time_to_next_completion()
+            next_event_time = self._events.peek_time()
+            candidates = []
+            if next_completion is not INFINITY:
+                candidates.append(self._now + next_completion)
+            if next_event_time is not None:
+                candidates.append(max(next_event_time, self._now))
+            if not candidates:
+                if progressed:
+                    # Allocation granted containers whose launch events were
+                    # scheduled; loop again to pick them up.
+                    continue
+                raise SimulationError(
+                    "simulation deadlock: no runnable work and no pending events "
+                    f"at t={self._now:.2f}"
+                )
+            next_time = min(candidates)
+            self._advance_to(next_time)
+        else:
+            raise SimulationError("simulation exceeded the iteration safety bound")
+
+        self._finished = True
+        traces = [
+            build_job_trace(job, num_nodes=len(self.cluster))
+            for job in self._jobs.values()
+        ]
+        return SimulationResult(
+            job_traces=traces,
+            metrics=self.metrics,
+            makespan=self.metrics.makespan,
+            num_nodes=len(self.cluster),
+        )
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _all_jobs_complete(self) -> bool:
+        return all(job.is_complete for job in self._jobs.values())
+
+    def _advance_to(self, time: float) -> None:
+        """Advance the fluid engine to ``time`` and process everything due."""
+        dt = time - self._now
+        if dt < -1e-9:
+            raise SimulationError("time went backwards")
+        completed = self._engine.advance(max(dt, 0.0), time)
+        self._now = time
+        for attempt in completed:
+            self._on_task_completed(attempt)
+        for event in self._events.pop_until(time):
+            if event.kind is EventKind.JOB_SUBMIT:
+                self._on_job_submit(event.payload)
+            elif event.kind is EventKind.AM_READY:
+                self._on_am_ready(event.payload)
+            elif event.kind is EventKind.TASK_LAUNCH:
+                self._on_task_launch(event.payload)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {event.kind}")
+
+    def _allocate(self) -> bool:
+        """Run one RM allocation pass; returns True if anything was granted."""
+        grants = self.resource_manager.allocate(self._now)
+        if grants:
+            self.metrics.allocation_passes += 1
+        for grant in grants:
+            context = self._contexts[grant.application.job.job_id]
+            container = grant.container
+            self.metrics.record_grant(container)
+            node_manager = self.node_managers[container.node_id]
+            ready_at = node_manager.start_container(container, self._now)
+            if container.priority is Priority.AM:
+                context.am_container = container
+                grant.application.on_am_container_granted(container)
+                self._events.push(
+                    self._now + grant.application.job.profile.am_startup_seconds,
+                    EventKind.AM_READY,
+                    container.job_id,
+                )
+                continue
+            task = grant.application.on_container_granted(
+                container, self._now, grant.hinted_task_id
+            )
+            context.containers[task.task_id] = container
+            launch_delay = grant.application.job.profile.container_launch_seconds
+            self._events.push(
+                max(ready_at, self._now + launch_delay),
+                EventKind.TASK_LAUNCH,
+                (container.job_id, task.task_id),
+            )
+        return bool(grants)
+
+    def _on_job_submit(self, job_id: int) -> None:
+        job = self._jobs[job_id]
+        job.submitted_at = self._now
+        self.resource_manager.submit_application(self._contexts[job_id].app_master)
+
+    def _on_am_ready(self, job_id: int) -> None:
+        context = self._contexts[job_id]
+        context.app_master.on_registered(self._now)
+
+    def _on_task_launch(self, payload: tuple[int, str]) -> None:
+        job_id, task_id = payload
+        context = self._contexts[job_id]
+        task = self._find_task(context.job, task_id)
+        context.app_master.build_stages(task)
+        task.mark_running(self._now)
+        if task.task_type is TaskType.MAP:
+            split = context.job.split_for(task)
+            data_local = task.assigned_node in split.preferred_nodes
+        else:
+            data_local = False
+        self.metrics.record_launch(task, data_local)
+        self._engine.add_task(task, self._now)
+
+    def _on_task_completed(self, task: TaskAttempt) -> None:
+        task.mark_completed(self._now)
+        context = self._contexts[task.job_id]
+        if task.task_type is TaskType.MAP:
+            context.job.record_map_completion(task)
+        self.metrics.record_completion(task, self._now)
+        container = context.containers.pop(task.task_id, None)
+        if container is not None:
+            self.node_managers[container.node_id].stop_container(container, self._now)
+            self.resource_manager.release_container(container, self._now)
+        context.app_master.on_task_completed(task, self._now)
+        if context.job.is_complete:
+            self._finish_job(context)
+
+    def _finish_job(self, context: _JobContext) -> None:
+        context.job.finished_at = self._now
+        if context.am_container is not None:
+            self.node_managers[context.am_container.node_id].stop_container(
+                context.am_container, self._now
+            )
+            self.resource_manager.release_container(context.am_container, self._now)
+            context.am_container = None
+        self.resource_manager.unregister_application(context.app_master)
+
+    @staticmethod
+    def _find_task(job: MapReduceJob, task_id: str) -> TaskAttempt:
+        for task in job.all_tasks:
+            if task.task_id == task_id:
+                return task
+        raise SimulationError(f"unknown task {task_id}")

@@ -1,0 +1,174 @@
+"""Job history traces.
+
+A :class:`JobTrace` is the simulator's equivalent of the Hadoop job-history
+file the paper's prototype mines for its input parameters ("we take the
+average of residence time from the history of corresponding real Hadoop job
+executions", Section 4.2.1).  Traces can be serialised to/from JSON so
+experiments can be re-analysed without re-running the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..exceptions import TraceError
+from .job import MapReduceJob
+from .tasks import StageKind, SubtaskLabel, TaskState, TaskType
+
+
+@dataclass(frozen=True)
+class TaskTrace:
+    """Execution record of one task attempt."""
+
+    task_id: str
+    task_type: str
+    node_id: int
+    scheduled_at: float
+    assigned_at: float
+    started_at: float
+    finished_at: float
+    #: Wall-clock duration of the whole attempt.
+    duration: float
+    #: Wall-clock duration of the shuffle-sort subtask (reduce only, else 0).
+    shuffle_sort_duration: float
+    #: Wall-clock duration of the merge subtask (reduce only, else 0).
+    merge_duration: float
+    #: Busy time per resource kind (cpu / disk / network seconds).
+    cpu_seconds: float
+    disk_seconds: float
+    network_seconds: float
+
+    @property
+    def is_map(self) -> bool:
+        """Whether this is a map task trace."""
+        return self.task_type == TaskType.MAP.value
+
+
+@dataclass(frozen=True)
+class JobTrace:
+    """Execution record of one MapReduce job."""
+
+    job_id: int
+    job_name: str
+    num_nodes: int
+    num_maps: int
+    num_reduces: int
+    input_size_bytes: int
+    block_size_bytes: int
+    submitted_at: float
+    finished_at: float
+    response_time: float
+    tasks: tuple[TaskTrace, ...] = field(default_factory=tuple)
+
+    # -- aggregate statistics used by the analytic model -------------------------
+
+    def map_traces(self) -> list[TaskTrace]:
+        """Traces of the map tasks."""
+        return [task for task in self.tasks if task.is_map]
+
+    def reduce_traces(self) -> list[TaskTrace]:
+        """Traces of the reduce tasks."""
+        return [task for task in self.tasks if not task.is_map]
+
+    def average_map_duration(self) -> float:
+        """Mean wall-clock duration of the map tasks."""
+        maps = self.map_traces()
+        if not maps:
+            return 0.0
+        return sum(task.duration for task in maps) / len(maps)
+
+    def average_shuffle_sort_duration(self) -> float:
+        """Mean wall-clock duration of the shuffle-sort subtasks."""
+        reduces = self.reduce_traces()
+        if not reduces:
+            return 0.0
+        return sum(task.shuffle_sort_duration for task in reduces) / len(reduces)
+
+    def average_merge_duration(self) -> float:
+        """Mean wall-clock duration of the merge subtasks."""
+        reduces = self.reduce_traces()
+        if not reduces:
+            return 0.0
+        return sum(task.merge_duration for task in reduces) / len(reduces)
+
+    def average_resource_seconds(self, task_type: TaskType, kind: StageKind) -> float:
+        """Mean busy seconds per task of ``task_type`` on resource ``kind``."""
+        selected = self.map_traces() if task_type is TaskType.MAP else self.reduce_traces()
+        if not selected:
+            return 0.0
+        attribute = {
+            StageKind.CPU: "cpu_seconds",
+            StageKind.DISK: "disk_seconds",
+            StageKind.NETWORK: "network_seconds",
+        }[kind]
+        return sum(getattr(task, attribute) for task in selected) / len(selected)
+
+    # -- (de)serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict representation (JSON friendly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobTrace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        try:
+            tasks = tuple(TaskTrace(**task) for task in data.pop("tasks", ()))
+            return cls(tasks=tasks, **data)
+        except TypeError as exc:
+            raise TraceError(f"malformed job trace: {exc}") from exc
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace to ``path`` as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "JobTrace":
+        """Read a trace previously written by :meth:`save`."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TraceError(f"cannot read job trace from {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def build_job_trace(job: MapReduceJob, num_nodes: int) -> JobTrace:
+    """Extract a :class:`JobTrace` from a completed simulated job."""
+    if not job.is_complete or job.submitted_at is None or job.finished_at is None:
+        raise TraceError(f"job {job.job_id} has not completed; cannot build a trace")
+    task_traces = []
+    for task in job.all_tasks:
+        if task.state is not TaskState.COMPLETED:
+            raise TraceError(f"task {task.task_id} is not completed")
+        task_traces.append(
+            TaskTrace(
+                task_id=task.task_id,
+                task_type=task.task_type.value,
+                node_id=task.assigned_node if task.assigned_node is not None else -1,
+                scheduled_at=task.scheduled_at or 0.0,
+                assigned_at=task.assigned_at or 0.0,
+                started_at=task.started_at or 0.0,
+                finished_at=task.finished_at or 0.0,
+                duration=task.duration,
+                shuffle_sort_duration=task.subtask_duration(SubtaskLabel.SHUFFLE_SORT),
+                merge_duration=task.subtask_duration(SubtaskLabel.MERGE),
+                cpu_seconds=task.resource_busy_time(StageKind.CPU),
+                disk_seconds=task.resource_busy_time(StageKind.DISK),
+                network_seconds=task.resource_busy_time(StageKind.NETWORK),
+            )
+        )
+    return JobTrace(
+        job_id=job.job_id,
+        job_name=job.config.name,
+        num_nodes=num_nodes,
+        num_maps=job.num_maps,
+        num_reduces=job.num_reduces,
+        input_size_bytes=job.config.input_size_bytes,
+        block_size_bytes=job.config.block_size_bytes,
+        submitted_at=job.submitted_at,
+        finished_at=job.finished_at,
+        response_time=job.response_time,
+        tasks=tuple(task_traces),
+    )

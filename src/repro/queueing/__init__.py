@@ -1,0 +1,65 @@
+"""Closed queueing-network substrate.
+
+This subpackage contains the queueing-theoretic building blocks the paper's
+performance model is constructed from:
+
+* :mod:`repro.queueing.service_center` — service centers (queueing or delay)
+  and per-class service demands;
+* :mod:`repro.queueing.network` — closed multi-class network description;
+* :mod:`repro.queueing.mva_exact` — exact Mean Value Analysis
+  (Reiser & Lavenberg 1980);
+* :mod:`repro.queueing.mva_approximate` — Schweitzer/Bard approximate MVA for
+  large populations;
+* :mod:`repro.queueing.mva_overlap` — approximate MVA whose queueing terms are
+  weighted by task *overlap factors* (Mak & Lundstrom 1990), the variant the
+  paper's modified-MVA loop relies on;
+* :mod:`repro.queueing.forkjoin` — fork/join response-time estimates
+  (Varki 1999), used by the fork/join job-response-time estimator;
+* :mod:`repro.queueing.distributions` — Erlang and hyperexponential response
+  time distributions, CV-based fitting, and max/sum composition used by the
+  Tripathi estimator;
+* :mod:`repro.queueing.markov` — an exact continuous-time Markov-chain solver
+  for tiny networks, used in tests as ground truth and to illustrate the
+  state-space explosion discussed in Section 2.2 of the paper.
+"""
+
+from .service_center import CenterKind, ServiceCenter, ServiceDemand
+from .network import ClosedNetwork, NetworkSolution
+from .mva_exact import solve_mva_exact
+from .mva_approximate import solve_mva_approximate
+from .mva_overlap import OverlapFactors, solve_mva_with_overlaps
+from .forkjoin import forkjoin_response_time, harmonic_number
+from .distributions import (
+    DistributionKind,
+    ErlangDistribution,
+    HyperexponentialDistribution,
+    ResponseTimeDistribution,
+    fit_distribution,
+    maximum_of,
+    sum_of,
+)
+from .markov import CTMCSolution, solve_ctmc_closed_network, state_space_size
+
+__all__ = [
+    "CenterKind",
+    "ServiceCenter",
+    "ServiceDemand",
+    "ClosedNetwork",
+    "NetworkSolution",
+    "solve_mva_exact",
+    "solve_mva_approximate",
+    "OverlapFactors",
+    "solve_mva_with_overlaps",
+    "forkjoin_response_time",
+    "harmonic_number",
+    "DistributionKind",
+    "ErlangDistribution",
+    "HyperexponentialDistribution",
+    "ResponseTimeDistribution",
+    "fit_distribution",
+    "maximum_of",
+    "sum_of",
+    "CTMCSolution",
+    "solve_ctmc_closed_network",
+    "state_space_size",
+]

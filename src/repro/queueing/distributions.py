@@ -1,0 +1,284 @@
+"""Response-time distributions used by the Tripathi-based estimator.
+
+Section 4.2.4 of the paper (option 1, "Tripathi-based") approximates the
+response-time distribution of every precedence-tree node by either an
+**Erlang** distribution (coefficient of variation CV <= 1) or a
+**Hyperexponential** distribution (CV >= 1), following Liang & Tripathi and
+Trivedi.  Knowing the children's distributions, the parent's distribution is
+
+* the distribution of the **maximum** for a parallel-and (P) node, and
+* the distribution of the **sum** for a serial (S) node,
+
+after which the result is re-fitted to an Erlang/Hyperexponential by matching
+mean and CV so the recursion can continue up the tree.
+
+This module provides the two distribution families, the CV-based fitting rule
+(:func:`fit_distribution`), and the max/sum composition operators
+(:func:`maximum_of`, :func:`sum_of`).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DistributionError
+
+#: CV below which a distribution is considered deterministic.
+_DETERMINISTIC_CV = 1e-9
+#: Largest Erlang shape used when fitting nearly deterministic variables.
+_MAX_ERLANG_SHAPE = 500
+#: Number of grid points used for numerical max-composition.
+_GRID_POINTS = 4096
+#: Upper-quantile multiplier for the integration grid.
+_GRID_SPAN_FACTOR = 12.0
+
+
+class DistributionKind(enum.Enum):
+    """Family of a fitted response-time distribution."""
+
+    DETERMINISTIC = "deterministic"
+    ERLANG = "erlang"
+    HYPEREXPONENTIAL = "hyperexponential"
+
+
+class ResponseTimeDistribution(ABC):
+    """A non-negative response-time distribution with known moments."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Mean of the distribution."""
+
+    @property
+    @abstractmethod
+    def variance(self) -> float:
+        """Variance of the distribution."""
+
+    @property
+    @abstractmethod
+    def kind(self) -> DistributionKind:
+        """Family of the distribution."""
+
+    @abstractmethod
+    def cdf(self, times: np.ndarray) -> np.ndarray:
+        """Cumulative distribution function evaluated at ``times`` (vectorised)."""
+
+    @property
+    def std(self) -> float:
+        """Standard deviation."""
+        return math.sqrt(max(self.variance, 0.0))
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """CV = sigma / mu (0 for a zero-mean / deterministic distribution)."""
+        if self.mean <= 0:
+            return 0.0
+        return self.std / self.mean
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{type(self).__name__}(mean={self.mean:.6g}, "
+            f"cv={self.coefficient_of_variation:.4g})"
+        )
+
+
+@dataclass(frozen=True)
+class DeterministicDistribution(ResponseTimeDistribution):
+    """Point mass at ``value`` (used for zero or variance-free durations)."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise DistributionError("deterministic value must be non-negative")
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def variance(self) -> float:
+        return 0.0
+
+    @property
+    def kind(self) -> DistributionKind:
+        return DistributionKind.DETERMINISTIC
+
+    def cdf(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        return (times >= self.value).astype(float)
+
+
+@dataclass(frozen=True)
+class ErlangDistribution(ResponseTimeDistribution):
+    """Erlang distribution with integer ``shape`` and ``rate`` per stage.
+
+    Mean = shape / rate, variance = shape / rate**2, CV = 1 / sqrt(shape).
+    """
+
+    shape: int
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.shape < 1:
+            raise DistributionError("Erlang shape must be >= 1")
+        if self.rate <= 0:
+            raise DistributionError("Erlang rate must be positive")
+
+    @property
+    def mean(self) -> float:
+        return self.shape / self.rate
+
+    @property
+    def variance(self) -> float:
+        return self.shape / self.rate**2
+
+    @property
+    def kind(self) -> DistributionKind:
+        return DistributionKind.ERLANG
+
+    def cdf(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        # P(X <= t) = 1 - sum_{n=0}^{k-1} exp(-rate t) (rate t)^n / n!
+        x = np.clip(self.rate * times, 0.0, None)
+        total = np.zeros_like(x)
+        term = np.ones_like(x)
+        for n in range(self.shape):
+            if n > 0:
+                term = term * x / n
+            total = total + term
+        result = 1.0 - np.exp(-x) * total
+        return np.clip(result, 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class HyperexponentialDistribution(ResponseTimeDistribution):
+    """Two-branch hyperexponential distribution (probabilities + rates)."""
+
+    probabilities: tuple[float, float]
+    rates: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        p1, p2 = self.probabilities
+        if not math.isclose(p1 + p2, 1.0, rel_tol=0, abs_tol=1e-9):
+            raise DistributionError("branch probabilities must sum to 1")
+        if min(p1, p2) < 0:
+            raise DistributionError("branch probabilities must be non-negative")
+        if min(self.rates) <= 0:
+            raise DistributionError("branch rates must be positive")
+
+    @property
+    def mean(self) -> float:
+        return sum(p / r for p, r in zip(self.probabilities, self.rates))
+
+    @property
+    def variance(self) -> float:
+        second_moment = sum(2.0 * p / r**2 for p, r in zip(self.probabilities, self.rates))
+        return second_moment - self.mean**2
+
+    @property
+    def kind(self) -> DistributionKind:
+        return DistributionKind.HYPEREXPONENTIAL
+
+    def cdf(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        clipped = np.clip(times, 0.0, None)
+        result = np.zeros_like(clipped)
+        for probability, rate in zip(self.probabilities, self.rates):
+            result = result + probability * (1.0 - np.exp(-rate * clipped))
+        return np.where(times < 0, 0.0, np.clip(result, 0.0, 1.0))
+
+
+def fit_distribution(mean: float, cv: float) -> ResponseTimeDistribution:
+    """Fit an Erlang / Hyperexponential distribution from mean and CV.
+
+    Implements the rule of Section 4.2.4: Erlang when ``CV <= 1``,
+    two-branch balanced-means hyperexponential when ``CV > 1``.  A mean of
+    zero or a CV of (almost) zero yields a deterministic distribution.
+    """
+    if mean < 0:
+        raise DistributionError(f"mean must be non-negative, got {mean}")
+    if cv < 0:
+        raise DistributionError(f"CV must be non-negative, got {cv}")
+    if mean == 0 or cv <= _DETERMINISTIC_CV:
+        return DeterministicDistribution(value=mean)
+    if cv <= 1.0:
+        shape = int(round(1.0 / cv**2))
+        shape = max(1, min(shape, _MAX_ERLANG_SHAPE))
+        rate = shape / mean
+        return ErlangDistribution(shape=shape, rate=rate)
+    # Balanced-means two-branch hyperexponential fit.
+    cv2 = cv**2
+    p1 = 0.5 * (1.0 + math.sqrt((cv2 - 1.0) / (cv2 + 1.0)))
+    p2 = 1.0 - p1
+    rate1 = 2.0 * p1 / mean
+    rate2 = 2.0 * p2 / mean
+    return HyperexponentialDistribution(probabilities=(p1, p2), rates=(rate1, rate2))
+
+
+def fit_from_moments(mean: float, variance: float) -> ResponseTimeDistribution:
+    """Fit a distribution from mean and variance (helper on top of :func:`fit_distribution`)."""
+    if variance < 0:
+        variance = 0.0
+    if mean <= 0:
+        return DeterministicDistribution(value=max(mean, 0.0))
+    cv = math.sqrt(variance) / mean
+    return fit_distribution(mean, cv)
+
+
+def _integration_grid(distributions: Sequence[ResponseTimeDistribution]) -> np.ndarray:
+    """Build a time grid covering the bulk of all distributions' mass."""
+    upper = 0.0
+    for distribution in distributions:
+        upper = max(upper, distribution.mean + _GRID_SPAN_FACTOR * max(distribution.std, 1e-12))
+    if upper <= 0:
+        upper = 1.0
+    return np.linspace(0.0, upper, _GRID_POINTS)
+
+
+def maximum_of(distributions: Sequence[ResponseTimeDistribution]) -> ResponseTimeDistribution:
+    """Distribution of the maximum of independent response times.
+
+    Mean and second moment are computed by numerical integration of the
+    survival function of the maximum::
+
+        E[max]   = ∫ (1 - Π_i F_i(t)) dt
+        E[max^2] = ∫ 2 t (1 - Π_i F_i(t)) dt
+
+    and the result is re-fitted via :func:`fit_from_moments` so it can be used
+    as a child distribution further up the precedence tree.
+    """
+    if not distributions:
+        raise DistributionError("maximum_of requires at least one distribution")
+    if len(distributions) == 1:
+        return distributions[0]
+    if all(isinstance(d, DeterministicDistribution) for d in distributions):
+        return DeterministicDistribution(value=max(d.mean for d in distributions))
+    grid = _integration_grid(distributions)
+    product_cdf = np.ones_like(grid)
+    for distribution in distributions:
+        product_cdf = product_cdf * distribution.cdf(grid)
+    survival = 1.0 - product_cdf
+    mean = float(np.trapezoid(survival, grid))
+    second_moment = float(np.trapezoid(2.0 * grid * survival, grid))
+    variance = max(second_moment - mean**2, 0.0)
+    return fit_from_moments(mean, variance)
+
+
+def sum_of(distributions: Sequence[ResponseTimeDistribution]) -> ResponseTimeDistribution:
+    """Distribution of the sum of independent response times.
+
+    Means and variances add; the result is re-fitted to the Erlang /
+    hyperexponential family by CV.
+    """
+    if not distributions:
+        raise DistributionError("sum_of requires at least one distribution")
+    mean = sum(d.mean for d in distributions)
+    variance = sum(d.variance for d in distributions)
+    return fit_from_moments(mean, variance)

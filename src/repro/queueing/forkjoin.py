@@ -1,0 +1,52 @@
+"""Fork/join response-time estimates (Varki, 1999).
+
+The paper's preferred job-response-time estimator treats every parallel phase
+as a fork/join block and uses the classic harmonic-number bound::
+
+    R_fork_join = H_s * max(T_1, ..., T_s),       H_s = sum_{i=1..s} 1 / i
+
+For the binary precedence tree used in the paper ``s = 2`` and ``H_2 = 3/2``
+(Section 4.2.4): the response time of a P-node is the larger child response
+time inflated by 50 % to account for synchronisation delay.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import ModelError
+
+
+def harmonic_number(count: int) -> float:
+    """Return the ``count``-th harmonic number ``H_count = sum_{i<=count} 1/i``."""
+    if count <= 0:
+        raise ModelError(f"harmonic_number requires a positive count, got {count}")
+    return sum(1.0 / i for i in range(1, count + 1))
+
+
+def forkjoin_response_time(child_response_times: Sequence[float]) -> float:
+    """Estimate the response time of a fork/join block.
+
+    Parameters
+    ----------
+    child_response_times:
+        Average response times of the parallel branches.
+
+    Returns
+    -------
+    float
+        ``H_s * max(children)`` where ``s`` is the number of branches.
+
+    Notes
+    -----
+    For a single branch the estimate equals the branch response time
+    (``H_1 = 1``), and the estimate is monotone in every child's response
+    time — two properties the property-based tests rely on.
+    """
+    values = [float(value) for value in child_response_times]
+    if not values:
+        raise ModelError("fork/join block needs at least one branch")
+    for value in values:
+        if value < 0:
+            raise ModelError(f"response times must be non-negative, got {value}")
+    return harmonic_number(len(values)) * max(values)

@@ -1,0 +1,188 @@
+"""Exact continuous-time Markov-chain solver for tiny closed networks.
+
+Section 2.2 of the paper recalls the classical alternative to MVA: enumerate
+the states of the system as a Markov chain and use the queueing network to
+compute transition rates.  The approach is exact but "does not scale well
+since the state space grows exponentially with the number of tasks".
+
+This module implements that classical approach for *small* closed networks
+(exponential service, processor sharing at queueing centers, cyclic routing
+through the centers).  It serves two purposes:
+
+* a ground-truth oracle for the MVA solvers in the test-suite, and
+* a concrete demonstration of the state-space explosion (``state_space_size``)
+  that motivates the MVA-based design of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .network import ClosedNetwork, NetworkSolution
+from .service_center import CenterKind
+
+
+def state_space_size(network: ClosedNetwork) -> int:
+    """Number of CTMC states for ``network``.
+
+    Each class-``c`` population of ``N_c`` customers can be distributed over
+    the ``K`` centers in ``C(N_c + K - 1, K - 1)`` ways; classes multiply.
+    """
+    size = 1
+    centers = network.num_centers
+    for population in network.populations:
+        size *= math.comb(population + centers - 1, centers - 1)
+    return size
+
+
+def _class_states(population: int, centers: int) -> list[tuple[int, ...]]:
+    """All ways of placing ``population`` identical customers onto ``centers``."""
+    if centers == 1:
+        return [(population,)]
+    states = []
+    for head in range(population + 1):
+        for tail in _class_states(population - head, centers - 1):
+            states.append((head,) + tail)
+    return states
+
+
+@dataclass(frozen=True)
+class CTMCSolution:
+    """Steady-state metrics computed from the exact CTMC."""
+
+    class_names: tuple[str, ...]
+    center_names: tuple[str, ...]
+    response_times: np.ndarray
+    throughputs: np.ndarray
+    queue_lengths: np.ndarray
+    state_count: int
+
+    def response_time(self, class_name: str) -> float:
+        """Response time of one class by name."""
+        return float(self.response_times[self.class_names.index(class_name)])
+
+
+def solve_ctmc_closed_network(
+    network: ClosedNetwork,
+    max_states: int = 20_000,
+) -> CTMCSolution:
+    """Solve a small closed network exactly via its CTMC.
+
+    Assumptions (documented limitations — this is an oracle, not the model):
+
+    * exponential service times with mean equal to the per-visit demand;
+    * processor sharing at queueing centers, pure delay at delay centers;
+    * cyclic routing: a class-``c`` customer that completes service at center
+      ``k`` moves to center ``k + 1 (mod K)``; centers where the class has
+      zero demand are skipped instantly.
+
+    Raises
+    ------
+    ModelError
+        If the state space exceeds ``max_states`` — the point the paper makes
+        about this technique.
+    """
+    size = state_space_size(network)
+    if size > max_states:
+        raise ModelError(
+            f"CTMC state space has {size} states (> {max_states}); "
+            "this exact method does not scale — use MVA"
+        )
+    demands = network.demand_matrix()
+    queueing = network.queueing_mask()
+    num_classes, num_centers = demands.shape
+
+    per_class_states = [
+        _class_states(int(population), num_centers) for population in network.populations
+    ]
+    states = [tuple(combo) for combo in itertools.product(*per_class_states)]
+    index_of = {state: i for i, state in enumerate(states)}
+    count = len(states)
+
+    def next_center(class_index: int, center: int) -> int:
+        """Next center with positive demand for this class (cyclic)."""
+        for step in range(1, num_centers + 1):
+            candidate = (center + step) % num_centers
+            if demands[class_index, candidate] > 0:
+                return candidate
+        return center
+
+    generator = np.zeros((count, count))
+    for state_index, state in enumerate(states):
+        occupancy = np.array(state, dtype=float)  # shape: (classes, centers)
+        totals = occupancy.sum(axis=0)
+        for c in range(num_classes):
+            for k in range(num_centers):
+                customers = state[c][k]
+                if customers == 0 or demands[c, k] <= 0:
+                    continue
+                if queueing[k]:
+                    share = customers / totals[k] if totals[k] > 0 else 0.0
+                    rate = share / demands[c, k]
+                else:
+                    rate = customers / demands[c, k]
+                if rate <= 0:
+                    continue
+                destination = next_center(c, k)
+                new_state = [list(row) for row in state]
+                new_state[c][k] -= 1
+                new_state[c][destination] += 1
+                target = tuple(tuple(row) for row in new_state)
+                target_index = index_of[target]
+                if target_index == state_index:
+                    continue
+                generator[state_index, target_index] += rate
+    np.fill_diagonal(generator, 0.0)
+    np.fill_diagonal(generator, -generator.sum(axis=1))
+
+    # Steady state: pi Q = 0, sum(pi) = 1.
+    system = np.vstack([generator.T, np.ones((1, count))])
+    rhs = np.zeros(count + 1)
+    rhs[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+    pi = np.clip(pi, 0.0, None)
+    pi = pi / pi.sum()
+
+    queue_lengths = np.zeros((num_classes, num_centers))
+    throughput = np.zeros(num_classes)
+    for state_index, state in enumerate(states):
+        probability = pi[state_index]
+        occupancy = np.array(state, dtype=float)
+        queue_lengths += probability * occupancy
+        totals = occupancy.sum(axis=0)
+        for c in range(num_classes):
+            # Throughput measured at the class's first positive-demand center.
+            reference = next(
+                (k for k in range(num_centers) if demands[c, k] > 0), None
+            )
+            if reference is None:
+                continue
+            customers = state[c][reference]
+            if customers == 0:
+                continue
+            if queueing[reference]:
+                share = customers / totals[reference] if totals[reference] > 0 else 0.0
+                throughput[c] += probability * share / demands[c, reference]
+            else:
+                throughput[c] += probability * customers / demands[c, reference]
+
+    populations = network.population_vector().astype(float)
+    response = np.divide(
+        populations,
+        throughput,
+        out=np.zeros_like(populations),
+        where=throughput > 0,
+    )
+    return CTMCSolution(
+        class_names=tuple(network.class_names),
+        center_names=tuple(center.name for center in network.centers),
+        response_times=response,
+        throughputs=throughput,
+        queue_lengths=queue_lengths,
+        state_count=count,
+    )

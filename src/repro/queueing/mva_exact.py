@@ -1,0 +1,104 @@
+"""Exact multi-class Mean Value Analysis (Reiser & Lavenberg, 1980).
+
+The exact algorithm recursively evaluates every population vector between the
+origin and the target population, which is exponential in the number of
+classes but exact for product-form networks.  The paper (Section 4.2.5)
+builds on MVA as the core queueing solver; the exact variant implemented here
+is used both as a reference in tests and as a solver for small models.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .network import ClosedNetwork, NetworkSolution
+
+
+def _population_vectors(target: np.ndarray) -> list[tuple[int, ...]]:
+    """Enumerate all population vectors from 0 up to ``target`` inclusive.
+
+    Vectors are produced in an order where every vector appears after all
+    vectors obtained from it by removing one customer, which is the order the
+    exact MVA recursion requires.
+    """
+    ranges = [range(int(n) + 1) for n in target]
+    vectors = list(itertools.product(*ranges))
+    vectors.sort(key=sum)
+    return vectors
+
+
+def solve_mva_exact(network: ClosedNetwork) -> NetworkSolution:
+    """Solve ``network`` with exact multi-class MVA.
+
+    Raises
+    ------
+    ModelError
+        If the total population is so large that exact evaluation would need
+        more than ~2 million population vectors (use the approximate solver
+        instead).
+    """
+    demands = network.demand_matrix()
+    queueing = network.queueing_mask()
+    servers = network.server_vector()
+    target = network.population_vector()
+    think = network.think_time_vector()
+    num_classes, num_centers = demands.shape
+
+    state_count = int(np.prod(target + 1))
+    if state_count > 2_000_000:
+        raise ModelError(
+            "exact MVA would enumerate "
+            f"{state_count} population vectors; use solve_mva_approximate"
+        )
+
+    # queue_lengths[n] -> vector of total queue length per center at population n
+    queue_lengths: dict[tuple[int, ...], np.ndarray] = {
+        tuple(0 for _ in range(num_classes)): np.zeros(num_centers)
+    }
+    residence = np.zeros((num_classes, num_centers))
+    throughput = np.zeros(num_classes)
+
+    for vector in _population_vectors(target):
+        if sum(vector) == 0:
+            continue
+        population = np.asarray(vector, dtype=int)
+        residence = np.zeros((num_classes, num_centers))
+        throughput = np.zeros(num_classes)
+        for c in range(num_classes):
+            if population[c] == 0:
+                continue
+            reduced = population.copy()
+            reduced[c] -= 1
+            previous_queues = queue_lengths[tuple(int(x) for x in reduced)]
+            for k in range(num_centers):
+                if queueing[k]:
+                    # Multi-server stations use the approximation that only
+                    # customers in excess of the free servers cause waiting
+                    # (exact for single-server stations).
+                    excess = max(0.0, previous_queues[k] - (servers[k] - 1.0))
+                    residence[c, k] = demands[c, k] * (1.0 + excess / servers[k])
+                else:
+                    residence[c, k] = demands[c, k]
+            total = think[c] + residence[c].sum()
+            throughput[c] = population[c] / total if total > 0 else 0.0
+        queues = np.zeros(num_centers)
+        for k in range(num_centers):
+            queues[k] = float(np.dot(throughput, residence[:, k]))
+        queue_lengths[tuple(int(x) for x in population)] = queues
+
+    response = residence.sum(axis=1)
+    per_class_queues = residence * throughput[:, None]
+    utilizations = demands * throughput[:, None]
+    return NetworkSolution(
+        class_names=tuple(network.class_names),
+        center_names=tuple(center.name for center in network.centers),
+        residence_times=residence,
+        response_times=response,
+        throughputs=throughput,
+        queue_lengths=per_class_queues,
+        utilizations=utilizations,
+        iterations=0,
+    )

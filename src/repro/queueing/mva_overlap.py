@@ -1,0 +1,187 @@
+"""Overlap-adjusted approximate MVA (Mak & Lundstrom, 1990).
+
+For a workload of tasks with precedence constraints, the queueing delay a
+class-``i`` task suffers because of class-``j`` tasks is *not* proportional to
+the full queue of class ``j``: it is proportional to the fraction of time the
+two classes actually execute concurrently.  Mak & Lundstrom capture this with
+**overlap factors**, and the paper (Sections 4.2.3 and 4.2.5) adopts the same
+idea: the queueing terms of the MVA are weighted by the intra-job overlap
+``alpha_{ij}`` and the inter-job overlap ``beta_{kr}``.
+
+:class:`OverlapFactors` carries both matrices; :func:`solve_mva_with_overlaps`
+is a Schweitzer-style fixed point whose arrival-queue estimate is weighted by
+those factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ConvergenceError
+from .network import ClosedNetwork, NetworkSolution
+
+
+@dataclass(frozen=True)
+class OverlapFactors:
+    """Overlap factors between task classes.
+
+    Attributes
+    ----------
+    class_names:
+        Names aligned with the rows/columns of the matrices.
+    intra_job:
+        ``alpha[i, j]`` — probability that a class-``j`` task *of the same
+        job* is executing while a class-``i`` task executes.  The diagonal
+        describes overlap with other instances of the same class.
+    inter_job:
+        ``beta[i, j]`` — probability that a class-``j`` task *of a different
+        job* is executing while a class-``i`` task executes.
+    """
+
+    class_names: tuple[str, ...]
+    intra_job: np.ndarray
+    inter_job: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.class_names)
+        for name, matrix in (("intra_job", self.intra_job), ("inter_job", self.inter_job)):
+            if matrix.shape != (n, n):
+                raise ConfigurationError(
+                    f"{name} matrix must be {n}x{n}, got {matrix.shape}"
+                )
+            if np.any(matrix < -1e-12) or np.any(matrix > 1.0 + 1e-9):
+                raise ConfigurationError(f"{name} factors must lie in [0, 1]")
+
+    @classmethod
+    def uniform(cls, class_names: tuple[str, ...] | list[str], value: float = 1.0) -> "OverlapFactors":
+        """Build factors with every entry equal to ``value`` (default: full overlap).
+
+        With ``value=1`` the overlap-adjusted MVA degenerates to plain
+        Schweitzer MVA, which is a useful baseline and test oracle.
+        """
+        names = tuple(class_names)
+        matrix = np.full((len(names), len(names)), float(value))
+        return cls(class_names=names, intra_job=matrix, inter_job=matrix.copy())
+
+    def combined(self, jobs_in_system: int) -> np.ndarray:
+        """Effective per-class-pair weighting for ``jobs_in_system`` concurrent jobs.
+
+        With a single job only the intra-job factors matter.  With ``J`` jobs,
+        a class-``i`` task shares the resources with same-job tasks (weighted
+        by ``alpha``) and with tasks of the other ``J - 1`` jobs (weighted by
+        ``beta``); the effective factor is the population-weighted mix::
+
+            w_{ij} = (alpha_{ij} + (J - 1) * beta_{ij}) / J
+
+        which keeps the factor in ``[0, 1]`` and reduces to ``alpha`` for
+        ``J = 1``.
+        """
+        if jobs_in_system <= 0:
+            raise ConfigurationError("jobs_in_system must be positive")
+        if jobs_in_system == 1:
+            return self.intra_job.copy()
+        weight = (self.intra_job + (jobs_in_system - 1) * self.inter_job) / jobs_in_system
+        return np.clip(weight, 0.0, 1.0)
+
+
+def solve_mva_with_overlaps(
+    network: ClosedNetwork,
+    overlaps: OverlapFactors,
+    jobs_in_system: int = 1,
+    tolerance: float = 1e-9,
+    max_iterations: int = 10_000,
+) -> NetworkSolution:
+    """Solve ``network`` with overlap-weighted approximate MVA.
+
+    The fixed point is the Schweitzer iteration where the queue length of
+    class ``j`` seen by an arriving class-``i`` task is scaled by the
+    effective overlap ``w_{ij}`` (see :meth:`OverlapFactors.combined`).
+
+    Parameters
+    ----------
+    network:
+        Closed network; class names must match ``overlaps.class_names``.
+    overlaps:
+        Intra-/inter-job overlap factors.
+    jobs_in_system:
+        Number of concurrently executing jobs (used to mix alpha and beta).
+    """
+    if tuple(network.class_names) != tuple(overlaps.class_names):
+        raise ConfigurationError(
+            "overlap factors classes "
+            f"{overlaps.class_names!r} do not match network classes "
+            f"{tuple(network.class_names)!r}"
+        )
+    demands = network.demand_matrix()
+    queueing = network.queueing_mask()
+    servers = network.server_vector()
+    population = network.population_vector().astype(float)
+    think = network.think_time_vector()
+    num_classes, num_centers = demands.shape
+    weights = overlaps.combined(jobs_in_system)
+
+    active = population > 0
+    queue = np.zeros((num_classes, num_centers))
+    for c in range(num_classes):
+        if not active[c]:
+            continue
+        positive = (demands[c] > 0) & queueing
+        count = int(positive.sum())
+        if count:
+            queue[c, positive] = population[c] / count
+
+    residence = np.zeros_like(demands)
+    throughput = np.zeros(num_classes)
+    for iteration in range(1, max_iterations + 1):
+        residence = np.zeros_like(demands)
+        for c in range(num_classes):
+            if not active[c]:
+                continue
+            own_correction = (
+                (population[c] - 1.0) / population[c] if population[c] > 0 else 0.0
+            )
+            for k in range(num_centers):
+                if not queueing[k]:
+                    residence[c, k] = demands[c, k]
+                    continue
+                seen = 0.0
+                for j in range(num_classes):
+                    if j == c:
+                        seen += weights[c, j] * own_correction * queue[j, k]
+                    else:
+                        seen += weights[c, j] * queue[j, k]
+                # Multi-server correction: only the customers in excess of the
+                # free servers cause waiting (M/M/c-style approximation).
+                excess = max(0.0, seen - (servers[k] - 1.0))
+                residence[c, k] = demands[c, k] * (1.0 + excess / servers[k])
+        totals = think + residence.sum(axis=1)
+        throughput = np.divide(
+            population,
+            totals,
+            out=np.zeros_like(population),
+            where=(totals > 0) & active,
+        )
+        new_queue = residence * throughput[:, None]
+        delta = float(np.max(np.abs(new_queue - queue))) if new_queue.size else 0.0
+        queue = new_queue
+        if delta <= tolerance:
+            break
+    else:
+        raise ConvergenceError(
+            f"overlap MVA did not converge in {max_iterations} iterations"
+        )
+
+    response = residence.sum(axis=1)
+    utilizations = demands * throughput[:, None]
+    return NetworkSolution(
+        class_names=tuple(network.class_names),
+        center_names=tuple(center.name for center in network.centers),
+        residence_times=residence,
+        response_times=response,
+        throughputs=throughput,
+        queue_lengths=queue,
+        utilizations=utilizations,
+        iterations=iteration,
+    )

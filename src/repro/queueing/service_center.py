@@ -1,0 +1,76 @@
+"""Service centers and service demands for closed queueing networks.
+
+The paper models the cluster with two kinds of shared resources per node
+("service centers", Section 4.1): *CPU & memory* and *network*.  A service
+center is either a **queueing** center (tasks contend and queue, e.g. CPU,
+disk) or a **delay** center (no contention, pure latency, e.g. a think-time
+station).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+
+class CenterKind(enum.Enum):
+    """Kind of service center in a queueing network."""
+
+    #: Tasks queue for the resource (load-dependent waiting).
+    QUEUEING = "queueing"
+    #: Pure delay; tasks never wait for each other.
+    DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class ServiceCenter:
+    """A shared resource in the closed queueing network.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"cpu"``, ``"network"``).
+    kind:
+        Whether the resource is a queueing or a delay center.
+    servers:
+        Number of identical servers at this center.  Multi-server queueing
+        centers are handled with the standard approximation of scaling the
+        effective demand by ``1 / servers`` while keeping queueing behaviour
+        (adequate for the symmetric clusters modelled here).
+    """
+
+    name: str
+    kind: CenterKind = CenterKind.QUEUEING
+    servers: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("service center name must be non-empty")
+        if self.servers <= 0:
+            raise ConfigurationError("servers must be positive")
+
+
+@dataclass(frozen=True)
+class ServiceDemand:
+    """Average service demand of one task class at one service center.
+
+    ``demand`` is the total busy time the class requires from the center per
+    visit to the system (the paper's ``S_{i,k}``, "residence time for task of
+    class *i* in the service center *k*"), in seconds.
+    """
+
+    class_name: str
+    center_name: str
+    demand: float
+
+    def __post_init__(self) -> None:
+        if not self.class_name:
+            raise ConfigurationError("class_name must be non-empty")
+        if not self.center_name:
+            raise ConfigurationError("center_name must be non-empty")
+        if self.demand < 0:
+            raise ConfigurationError(
+                f"service demand must be non-negative, got {self.demand}"
+            )

@@ -1,0 +1,88 @@
+"""Map-task phase costs (read, map, collect, spill, merge).
+
+Simplified but structurally faithful version of Herodotou's map-task model:
+each phase cost is the product of the bytes flowing through the phase and the
+corresponding per-byte cost statistic, with the spill/merge phases accounting
+for multiple passes when the map output exceeds the in-memory sort buffer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .parameters import CostStatistics, DataflowStatistics
+
+
+@dataclass(frozen=True)
+class MapPhaseCosts:
+    """Per-phase costs (seconds) of one map task."""
+
+    read: float
+    map: float
+    collect: float
+    spill: float
+    merge: float
+    startup: float
+
+    @property
+    def total(self) -> float:
+        """Total map task execution time."""
+        return self.read + self.map + self.collect + self.spill + self.merge + self.startup
+
+    def as_dict(self) -> dict[str, float]:
+        """Phase-name → cost mapping (useful for reports)."""
+        return {
+            "read": self.read,
+            "map": self.map,
+            "collect": self.collect,
+            "spill": self.spill,
+            "merge": self.merge,
+            "startup": self.startup,
+            "total": self.total,
+        }
+
+
+def estimate_map_phases(
+    dataflow: DataflowStatistics,
+    costs: CostStatistics,
+) -> MapPhaseCosts:
+    """Estimate the phase costs of one map task.
+
+    Phases:
+
+    * **read** — read the input split from HDFS;
+    * **map** — apply the user map function to every input byte;
+    * **collect** — serialise map output into the sort buffer (CPU);
+    * **spill** — sort and write spill files to local disk (one spill per
+      buffer fill);
+    * **merge** — merge spill files into the final map output file (only when
+      more than one spill was produced).
+    """
+    split = float(dataflow.split_bytes)
+    output = float(dataflow.map_output_bytes)
+
+    read_cost = split * costs.hdfs_read_cost
+    map_cost = split * costs.map_cpu_cost
+    collect_cost = output * costs.sort_cpu_cost
+
+    num_spills = max(1, math.ceil(output / dataflow.sort_buffer_bytes))
+    # Each spill sorts its buffer (CPU, n log n approximated linearly with a
+    # log factor on the spill count) and writes it to local disk.
+    sort_factor = 1.0 + math.log2(max(2.0, output / max(dataflow.sort_buffer_bytes, 1)))
+    spill_cost = output * (costs.local_io_cost + costs.sort_cpu_cost * sort_factor)
+
+    if num_spills > 1:
+        # One merge pass reads and re-writes the whole map output.
+        merge_cost = output * (2.0 * costs.local_io_cost + costs.sort_cpu_cost)
+    else:
+        merge_cost = 0.0
+
+    return MapPhaseCosts(
+        read=read_cost,
+        map=map_cost,
+        collect=collect_cost,
+        spill=spill_cost,
+        merge=merge_cost,
+        startup=costs.task_startup_seconds,
+    )

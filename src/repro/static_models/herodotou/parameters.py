@@ -1,0 +1,184 @@
+"""Dataflow and cost statistics for the Herodotou phase model.
+
+Herodotou's model is driven by two groups of parameters:
+
+* **dataflow statistics** — how many bytes flow through each phase
+  (selectivities, split sizes, number of reducers);
+* **cost statistics** — how many seconds it takes to push one byte through
+  each resource (HDFS read/write, local disk, network, and the CPU cost of
+  the map / reduce / combine / sort functions).
+
+:class:`HadoopEnvironment` derives the I/O cost statistics from a
+:class:`~repro.config.NodeSpec`, so the static model and the simulator agree
+on the hardware; :class:`WordcountStatistics` bundles the dataflow and CPU
+statistics of the WordCount-like job used in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...config import JobConfig, NodeSpec
+from ...exceptions import ConfigurationError
+from ...hadoop.job import JobResourceProfile
+from ...units import MiB
+
+
+@dataclass(frozen=True)
+class DataflowStatistics:
+    """Byte-level dataflow of one MapReduce job."""
+
+    input_bytes: int
+    split_bytes: int
+    num_maps: int
+    num_reduces: int
+    #: Map selectivity: map-output bytes per map-input byte.
+    map_output_ratio: float
+    #: Reduce selectivity: reduce-output bytes per reduce-input byte.
+    reduce_output_ratio: float
+    #: In-memory sort buffer of a map task (bytes); spills happen above this.
+    sort_buffer_bytes: int = 100 * MiB
+    #: HDFS replication factor of the job output.
+    output_replication: int = 3
+
+    def __post_init__(self) -> None:
+        if self.input_bytes <= 0 or self.split_bytes <= 0:
+            raise ConfigurationError("input and split sizes must be positive")
+        if self.num_maps <= 0 or self.num_reduces <= 0:
+            raise ConfigurationError("task counts must be positive")
+        if self.map_output_ratio < 0 or self.reduce_output_ratio < 0:
+            raise ConfigurationError("selectivities must be non-negative")
+        if self.sort_buffer_bytes <= 0:
+            raise ConfigurationError("sort buffer must be positive")
+        if self.output_replication <= 0:
+            raise ConfigurationError("output replication must be positive")
+
+    @property
+    def map_output_bytes(self) -> float:
+        """Intermediate bytes produced by one map task."""
+        return self.split_bytes * self.map_output_ratio
+
+    @property
+    def total_map_output_bytes(self) -> float:
+        """Intermediate bytes produced by all map tasks."""
+        return self.map_output_bytes * self.num_maps
+
+    @property
+    def reduce_input_bytes(self) -> float:
+        """Intermediate bytes consumed by one reduce task."""
+        return self.total_map_output_bytes / self.num_reduces
+
+    @property
+    def reduce_output_bytes(self) -> float:
+        """Output bytes written by one reduce task."""
+        return self.reduce_input_bytes * self.reduce_output_ratio
+
+    @classmethod
+    def from_job_config(cls, job_config: JobConfig) -> "DataflowStatistics":
+        """Build dataflow statistics from a :class:`~repro.config.JobConfig`."""
+        return cls(
+            input_bytes=job_config.input_size_bytes,
+            split_bytes=job_config.split_size_bytes,
+            num_maps=job_config.num_maps,
+            num_reduces=job_config.num_reduces,
+            map_output_ratio=job_config.map_output_ratio,
+            reduce_output_ratio=job_config.reduce_output_ratio,
+        )
+
+
+@dataclass(frozen=True)
+class CostStatistics:
+    """Per-byte cost statistics (seconds/byte) plus fixed per-task overheads."""
+
+    hdfs_read_cost: float
+    hdfs_write_cost: float
+    local_io_cost: float
+    network_cost: float
+    map_cpu_cost: float
+    reduce_cpu_cost: float
+    sort_cpu_cost: float
+    #: Fixed per-task overhead (container + JVM start-up), seconds.
+    task_startup_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "hdfs_read_cost",
+            "hdfs_write_cost",
+            "local_io_cost",
+            "network_cost",
+            "map_cpu_cost",
+            "reduce_cpu_cost",
+            "sort_cpu_cost",
+            "task_startup_seconds",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class HadoopEnvironment:
+    """Cluster-side inputs of the static model (slots + cost statistics)."""
+
+    num_nodes: int
+    map_slots_per_node: int
+    reduce_slots_per_node: int
+    costs: CostStatistics
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive")
+        if self.map_slots_per_node <= 0 or self.reduce_slots_per_node <= 0:
+            raise ConfigurationError("slot counts must be positive")
+
+    @property
+    def total_map_slots(self) -> int:
+        """Cluster-wide number of map slots."""
+        return self.num_nodes * self.map_slots_per_node
+
+    @property
+    def total_reduce_slots(self) -> int:
+        """Cluster-wide number of reduce slots."""
+        return self.num_nodes * self.reduce_slots_per_node
+
+    @classmethod
+    def from_specs(
+        cls,
+        node: NodeSpec,
+        profile: JobResourceProfile,
+        num_nodes: int,
+        map_slots_per_node: int,
+        reduce_slots_per_node: int,
+    ) -> "HadoopEnvironment":
+        """Derive cost statistics from the same specs the simulator uses.
+
+        I/O costs are the reciprocal of the node bandwidths; CPU costs are the
+        per-MiB CPU times of the job profile divided by the node speed.
+        """
+        costs = CostStatistics(
+            hdfs_read_cost=1.0 / node.disk_bandwidth,
+            hdfs_write_cost=1.0 / node.disk_bandwidth,
+            local_io_cost=1.0 / (node.disk_bandwidth * node.disk_count),
+            network_cost=1.0 / node.network_bandwidth,
+            map_cpu_cost=profile.map_cpu_seconds_per_mib / MiB / node.cpu_speed_factor,
+            reduce_cpu_cost=profile.reduce_cpu_seconds_per_mib / MiB / node.cpu_speed_factor,
+            sort_cpu_cost=0.05 * profile.map_cpu_seconds_per_mib / MiB / node.cpu_speed_factor,
+            task_startup_seconds=profile.startup_cpu_seconds,
+        )
+        return cls(
+            num_nodes=num_nodes,
+            map_slots_per_node=map_slots_per_node,
+            reduce_slots_per_node=reduce_slots_per_node,
+            costs=costs,
+        )
+
+
+def WordcountStatistics(job_config: JobConfig) -> DataflowStatistics:
+    """Dataflow statistics of the WordCount-like job used in the evaluation.
+
+    WordCount is "map-and-reduce-input heavy" (paper Section 5, citing Shi et
+    al.): it reads a large input and produces sizeable intermediate data.  The
+    defaults of :class:`~repro.config.JobConfig` already encode its
+    selectivities, so this is a thin naming wrapper kept for readability in
+    experiment code.
+    """
+    return DataflowStatistics.from_job_config(job_config)

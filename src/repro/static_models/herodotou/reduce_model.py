@@ -1,0 +1,93 @@
+"""Reduce-task phase costs (shuffle, merge, reduce, write).
+
+Simplified but structurally faithful version of Herodotou's reduce-task
+model.  The shuffle phase moves the reducer's share of every map output over
+the network; the merge phase performs the multi-pass on-disk merge of the
+fetched segments; the reduce phase applies the user reduce function; the
+write phase writes the final output to HDFS with replication.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .parameters import CostStatistics, DataflowStatistics
+
+
+@dataclass(frozen=True)
+class ReducePhaseCosts:
+    """Per-phase costs (seconds) of one reduce task."""
+
+    shuffle: float
+    merge: float
+    reduce: float
+    write: float
+    startup: float
+
+    @property
+    def total(self) -> float:
+        """Total reduce task execution time."""
+        return self.shuffle + self.merge + self.reduce + self.write + self.startup
+
+    @property
+    def shuffle_sort(self) -> float:
+        """Cost of the paper's *shuffle-sort* subtask (shuffle + partial sorts)."""
+        return self.shuffle
+
+    @property
+    def final_merge(self) -> float:
+        """Cost of the paper's *merge* subtask (final sort + reduce + write)."""
+        return self.merge + self.reduce + self.write
+
+    def as_dict(self) -> dict[str, float]:
+        """Phase-name → cost mapping (useful for reports)."""
+        return {
+            "shuffle": self.shuffle,
+            "merge": self.merge,
+            "reduce": self.reduce,
+            "write": self.write,
+            "startup": self.startup,
+            "total": self.total,
+        }
+
+
+def estimate_reduce_phases(
+    dataflow: DataflowStatistics,
+    costs: CostStatistics,
+    remote_fraction: float = 1.0,
+) -> ReducePhaseCosts:
+    """Estimate the phase costs of one reduce task.
+
+    Parameters
+    ----------
+    dataflow / costs:
+        Statistics of the job and the environment.
+    remote_fraction:
+        Fraction of the reduce input that must be fetched over the network
+        (``(n - 1) / n`` for a uniform placement over ``n`` nodes; 1.0 is the
+        conservative default the static model uses when the cluster size is
+        unknown).
+    """
+    reduce_input = float(dataflow.reduce_input_bytes)
+    reduce_output = float(dataflow.reduce_output_bytes)
+
+    shuffle_network = reduce_input * remote_fraction * costs.network_cost
+    # The fetched segments are spilled to local disk as they arrive.
+    shuffle_disk = reduce_input * costs.local_io_cost
+    shuffle_cost = shuffle_network + shuffle_disk
+
+    # Multi-pass merge: one full read+write pass per merge level.
+    merge_passes = max(1, math.ceil(math.log2(max(2.0, dataflow.num_maps))) - 3)
+    merge_cost = reduce_input * merge_passes * 2.0 * costs.local_io_cost
+
+    reduce_cost = reduce_input * costs.reduce_cpu_cost
+    write_cost = reduce_output * costs.hdfs_write_cost * dataflow.output_replication
+
+    return ReducePhaseCosts(
+        shuffle=shuffle_cost,
+        merge=merge_cost,
+        reduce=reduce_cost,
+        write=write_cost,
+        startup=costs.task_startup_seconds,
+    )

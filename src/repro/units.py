@@ -1,0 +1,111 @@
+"""Unit helpers used across the library.
+
+Conventions
+-----------
+* **Time** is measured in seconds, stored as ``float``.
+* **Data sizes** are measured in bytes, stored as ``int``.
+* **Rates** are bytes per second (``float``).
+
+The helpers below keep experiment definitions readable ("5 GB", "128 MB")
+while the internal representation stays in base units.
+"""
+
+from __future__ import annotations
+
+from .exceptions import ValidationError
+
+#: Number of bytes in one kibibyte / mebibyte / gibibyte / tebibyte.
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+#: Convenience aliases matching the loose "MB"/"GB" used in the paper.
+MB = MiB
+GB = GiB
+
+#: Number of seconds in common time spans.
+MILLISECOND = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+
+_SIZE_SUFFIXES = {
+    "b": 1,
+    "kb": KiB,
+    "kib": KiB,
+    "mb": MiB,
+    "mib": MiB,
+    "gb": GiB,
+    "gib": GiB,
+    "tb": TiB,
+    "tib": TiB,
+}
+
+
+def megabytes(value: float) -> int:
+    """Return ``value`` mebibytes expressed in bytes."""
+    return int(round(value * MiB))
+
+
+def gigabytes(value: float) -> int:
+    """Return ``value`` gibibytes expressed in bytes."""
+    return int(round(value * GiB))
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable data size into bytes.
+
+    Accepts an ``int``/``float`` (interpreted as bytes) or a string such as
+    ``"128MB"``, ``"5 GB"``, ``"64 MiB"`` (case-insensitive, optional space).
+
+    Raises
+    ------
+    ValidationError
+        If the text cannot be interpreted as a data size.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValidationError(f"data size must be non-negative, got {text!r}")
+        return int(text)
+    stripped = text.strip().lower().replace(" ", "")
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if stripped.endswith(suffix):
+            number_part = stripped[: -len(suffix)]
+            try:
+                number = float(number_part)
+            except ValueError as exc:
+                raise ValidationError(f"cannot parse data size {text!r}") from exc
+            if number < 0:
+                raise ValidationError(f"data size must be non-negative, got {text!r}")
+            return int(round(number * _SIZE_SUFFIXES[suffix]))
+    try:
+        return int(float(stripped))
+    except ValueError as exc:
+        raise ValidationError(f"cannot parse data size {text!r}") from exc
+
+
+def format_size(num_bytes: int) -> str:
+    """Format a byte count using the largest suffix that keeps value >= 1."""
+    if num_bytes < 0:
+        raise ValidationError(f"data size must be non-negative, got {num_bytes!r}")
+    for suffix, factor in (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if num_bytes >= factor:
+            return f"{num_bytes / factor:.2f} {suffix}"
+    return f"{num_bytes} B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration in seconds as a short human-readable string."""
+    if seconds < 0:
+        raise ValidationError(f"duration must be non-negative, got {seconds!r}")
+    if seconds < 1.0:
+        return f"{seconds * 1000:.1f} ms"
+    if seconds < MINUTE:
+        return f"{seconds:.2f} s"
+    if seconds < HOUR:
+        minutes, rest = divmod(seconds, MINUTE)
+        return f"{int(minutes)} min {rest:.0f} s"
+    hours, rest = divmod(seconds, HOUR)
+    minutes = rest / MINUTE
+    return f"{int(hours)} h {minutes:.0f} min"

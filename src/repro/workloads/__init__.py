@@ -1,0 +1,35 @@
+"""Workload definitions: application profiles and model-input builders.
+
+This layer connects the three worlds of the reproduction:
+
+* the **simulator** needs a :class:`~repro.config.JobConfig` plus a
+  :class:`~repro.hadoop.job.JobResourceProfile` describing per-byte costs;
+* the **analytic model** needs a :class:`~repro.core.parameters.ModelInput`
+  with per-class service demands;
+* the **static baselines** need Herodotou dataflow/cost statistics.
+
+:class:`ApplicationProfile` bundles the per-byte costs of one application
+(WordCount, TeraSort, Grep) and knows how to derive all three representations
+consistently, so the model is evaluated on exactly the workload the simulator
+executes — mirroring how the paper derives model inputs from job profiles of
+the application it measures.
+"""
+
+from .profiles import ApplicationProfile, model_input_from_profile, model_input_from_trace
+from .wordcount import wordcount_profile
+from .terasort import terasort_profile
+from .grep import grep_profile
+from .generators import WorkloadSpec, generate_concurrent_jobs, paper_cluster, paper_scheduler
+
+__all__ = [
+    "ApplicationProfile",
+    "model_input_from_profile",
+    "model_input_from_trace",
+    "wordcount_profile",
+    "terasort_profile",
+    "grep_profile",
+    "WorkloadSpec",
+    "generate_concurrent_jobs",
+    "paper_cluster",
+    "paper_scheduler",
+]

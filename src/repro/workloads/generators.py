@@ -1,0 +1,125 @@
+"""Workload generators and the paper's cluster/scheduler configuration.
+
+:func:`paper_cluster` builds the cluster configuration used by every
+evaluation bench: nodes with the paper's hardware (2x Xeon E5-2630L v2,
+128 GB RAM, one disk, gigabit Ethernet) and YARN settings that yield 8
+concurrent 1-vcore containers per node.  :func:`generate_concurrent_jobs`
+produces the "N identical WordCount jobs submitted together" workloads of
+Section 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ClusterConfig, ContainerSpec, JobConfig, NodeSpec, SchedulerConfig
+from ..exceptions import ConfigurationError
+from ..units import GiB, MiB
+from .profiles import ApplicationProfile
+from .wordcount import wordcount_profile
+
+#: Concurrent containers per node used by the evaluation configuration.
+PAPER_CONTAINERS_PER_NODE = 8
+
+
+def paper_cluster(num_nodes: int) -> ClusterConfig:
+    """Cluster configuration mirroring the paper's testbed (Section 5.1)."""
+    node = NodeSpec(
+        cpu_cores=12,
+        memory_bytes=128 * GiB,
+        disk_count=1,
+        disk_bandwidth=150.0 * MiB,
+        network_bandwidth=117.0 * MiB,
+        cpu_speed_factor=1.0,
+    )
+    return ClusterConfig(
+        num_nodes=num_nodes,
+        node=node,
+        map_container=ContainerSpec(memory_bytes=1 * GiB, vcores=1),
+        reduce_container=ContainerSpec(memory_bytes=1 * GiB, vcores=1),
+        yarn_memory_fraction=0.75,
+        # 8 single-vcore containers per node: the vcore envelope is the
+        # binding constraint, as on memory-rich nodes in practice.
+        yarn_vcore_fraction=PAPER_CONTAINERS_PER_NODE / 12,
+        num_racks=1,
+    )
+
+
+def paper_scheduler() -> SchedulerConfig:
+    """Scheduler configuration assumed by the paper (Capacity, slow start 5 %)."""
+    return SchedulerConfig(
+        scheduler_name="capacity",
+        slowstart_enabled=True,
+        slowstart_completed_maps=0.05,
+        respect_map_locality=True,
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A homogeneous multi-job workload specification."""
+
+    profile: ApplicationProfile
+    input_size_bytes: int
+    block_size_bytes: int = 128 * MiB
+    num_reduces: int = 4
+    num_jobs: int = 1
+    #: Inter-submission gap between consecutive jobs (0 = simultaneous).
+    submission_gap_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_jobs <= 0:
+            raise ConfigurationError("num_jobs must be positive")
+        if self.submission_gap_seconds < 0:
+            raise ConfigurationError("submission_gap_seconds must be non-negative")
+
+    @classmethod
+    def wordcount(
+        cls,
+        input_size_bytes: int,
+        num_jobs: int = 1,
+        block_size_bytes: int = 128 * MiB,
+        num_reduces: int = 4,
+        duration_cv: float = 0.3,
+    ) -> "WorkloadSpec":
+        """The paper's WordCount workload with ``num_jobs`` concurrent jobs."""
+        return cls(
+            profile=wordcount_profile(duration_cv=duration_cv),
+            input_size_bytes=input_size_bytes,
+            block_size_bytes=block_size_bytes,
+            num_reduces=num_reduces,
+            num_jobs=num_jobs,
+        )
+
+    def job_configs(self) -> list[JobConfig]:
+        """One :class:`~repro.config.JobConfig` per concurrent job."""
+        return generate_concurrent_jobs(
+            self.profile,
+            input_size_bytes=self.input_size_bytes,
+            block_size_bytes=self.block_size_bytes,
+            num_reduces=self.num_reduces,
+            num_jobs=self.num_jobs,
+            submission_gap_seconds=self.submission_gap_seconds,
+        )
+
+
+def generate_concurrent_jobs(
+    profile: ApplicationProfile,
+    input_size_bytes: int,
+    block_size_bytes: int,
+    num_reduces: int,
+    num_jobs: int,
+    submission_gap_seconds: float = 0.0,
+) -> list[JobConfig]:
+    """Create ``num_jobs`` identical jobs submitted ``submission_gap_seconds`` apart."""
+    if num_jobs <= 0:
+        raise ConfigurationError("num_jobs must be positive")
+    return [
+        profile.job_config(
+            input_size_bytes=input_size_bytes,
+            block_size_bytes=block_size_bytes,
+            num_reduces=num_reduces,
+            submission_time=index * submission_gap_seconds,
+        )
+        for index in range(num_jobs)
+    ]

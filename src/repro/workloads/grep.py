@@ -1,0 +1,25 @@
+"""Grep application profile.
+
+Grep is map-heavy with a tiny intermediate result: the map function scans
+every input byte but emits only matching records, so the shuffle and reduce
+are almost free.  Used by examples to contrast against WordCount/TeraSort.
+"""
+
+from __future__ import annotations
+
+from .profiles import ApplicationProfile
+
+
+def grep_profile(duration_cv: float = 0.3) -> ApplicationProfile:
+    """A Grep-like profile (scan-heavy map, negligible shuffle)."""
+    return ApplicationProfile(
+        name="grep",
+        map_cpu_seconds_per_mib=0.15,
+        reduce_cpu_seconds_per_mib=0.02,
+        map_output_ratio=0.01,
+        reduce_output_ratio=1.0,
+        spill_write_factor=1.0,
+        merge_write_factor=1.0,
+        startup_cpu_seconds=2.0,
+        duration_cv=duration_cv,
+    )

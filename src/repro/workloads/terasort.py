@@ -1,0 +1,26 @@
+"""TeraSort application profile.
+
+TeraSort is shuffle-heavy: every input byte is moved through the shuffle and
+written back out (map and reduce selectivities of 1.0), with relatively cheap
+map/reduce functions.  It is not part of the paper's evaluation but provides
+a second, I/O-dominated workload for the examples and the extension benches.
+"""
+
+from __future__ import annotations
+
+from .profiles import ApplicationProfile
+
+
+def terasort_profile(duration_cv: float = 0.3) -> ApplicationProfile:
+    """A TeraSort-like profile (selectivity 1.0, cheap CPU, heavy I/O)."""
+    return ApplicationProfile(
+        name="terasort",
+        map_cpu_seconds_per_mib=0.05,
+        reduce_cpu_seconds_per_mib=0.05,
+        map_output_ratio=1.0,
+        reduce_output_ratio=1.0,
+        spill_write_factor=2.0,
+        merge_write_factor=1.5,
+        startup_cpu_seconds=2.0,
+        duration_cv=duration_cv,
+    )

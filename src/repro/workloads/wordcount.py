@@ -1,0 +1,29 @@
+"""WordCount application profile.
+
+WordCount is the job the paper evaluates (Section 5): it is
+"map-and-reduce-input heavy" — it reads large inputs and produces sizeable
+intermediate data (roughly 40 % of the input with the default combiner), but
+writes a comparatively small final output.  The per-MiB CPU costs were
+calibrated so that, on the paper's node specification, a single 128 MiB map
+task takes a few tens of seconds — the order of magnitude of WordCount map
+tasks reported in the literature.
+"""
+
+from __future__ import annotations
+
+from .profiles import ApplicationProfile
+
+
+def wordcount_profile(duration_cv: float = 0.3) -> ApplicationProfile:
+    """The WordCount profile used throughout the evaluation benches."""
+    return ApplicationProfile(
+        name="wordcount",
+        map_cpu_seconds_per_mib=0.22,
+        reduce_cpu_seconds_per_mib=0.12,
+        map_output_ratio=0.40,
+        reduce_output_ratio=0.10,
+        spill_write_factor=1.5,
+        merge_write_factor=1.0,
+        startup_cpu_seconds=2.0,
+        duration_cv=duration_cv,
+    )

@@ -1,0 +1,255 @@
+"""Tests for the timeline construction (Algorithm 1) and the precedence tree."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ModelInput,
+    TaskClass,
+    TaskClassDemands,
+    build_precedence_tree,
+    build_timeline,
+    segment_phases,
+    tree_depth,
+    tree_leaves,
+)
+from repro.core.precedence import (
+    balance_parallel_subtrees,
+    balanced_parallel_tree,
+    tree_operator_counts,
+    trees_isomorphic,
+)
+from repro.core.precedence.balancer import left_deep_parallel_tree
+from repro.core.precedence.tree import LeafNode, OperatorKind
+from repro.core.task_instances import TaskInstance, expand_task_instances
+from repro.exceptions import ModelError
+
+
+def make_input(
+    num_nodes=3, num_maps=4, num_reduces=1, maps_per_node=2, reduces_per_node=2, slow_start=True
+) -> ModelInput:
+    demands = {
+        TaskClass.MAP: TaskClassDemands(cpu_seconds=10.0, disk_seconds=2.0),
+        TaskClass.SHUFFLE_SORT: TaskClassDemands(
+            cpu_seconds=0.0, disk_seconds=2.0, network_seconds=3.0
+        ),
+        TaskClass.MERGE: TaskClassDemands(cpu_seconds=8.0, disk_seconds=2.0),
+    }
+    return ModelInput(
+        num_nodes=num_nodes,
+        cpu_per_node=8,
+        disk_per_node=1,
+        max_maps_per_node=maps_per_node,
+        max_reduces_per_node=reduces_per_node,
+        num_maps=num_maps,
+        num_reduces=num_reduces,
+        demands=demands,
+        slow_start=slow_start,
+    )
+
+
+def make_timeline(model_input=None, map_d=12.0, ss_base=2.0, ss_net=3.0, merge_d=10.0):
+    model_input = model_input or make_input()
+    return build_timeline(
+        model_input,
+        map_duration=map_d,
+        shuffle_sort_base_duration=ss_base,
+        shuffle_network_duration=ss_net,
+        merge_duration=merge_d,
+    )
+
+
+class TestTaskInstances:
+    def test_expansion_counts(self):
+        instances = expand_task_instances(make_input(num_maps=4, num_reduces=2))
+        classes = [instance.task_class for instance in instances]
+        assert classes.count(TaskClass.MAP) == 4
+        assert classes.count(TaskClass.SHUFFLE_SORT) == 2
+        assert classes.count(TaskClass.MERGE) == 2
+
+    def test_labels(self):
+        assert TaskInstance(TaskClass.MAP, 3).label == "m3"
+        assert TaskInstance(TaskClass.SHUFFLE_SORT, 0, reduce_index=0).label == "ss0"
+
+    def test_reduce_index_validation(self):
+        with pytest.raises(Exception):
+            TaskInstance(TaskClass.MERGE, 0)
+
+
+class TestTimelineRunningExample:
+    """The n=3, m=4, r=1 running example of the paper (Sections 3.1, 4.2.2)."""
+
+    def test_map_placement_spreads_over_nodes(self):
+        timeline = make_timeline()
+        maps = timeline.entries_of_class(TaskClass.MAP)
+        assert len(maps) == 4
+        # Three maps start immediately (one per node); the fourth runs in the
+        # second wave on some node but within its capacity of 2 concurrent maps.
+        starts = sorted(entry.start for entry in maps)
+        assert starts[:3] == [0.0, 0.0, 0.0]
+        nodes = {entry.node_id for entry in maps}
+        assert nodes == {0, 1, 2}
+
+    def test_slow_start_border_is_first_map_end(self):
+        timeline = make_timeline()
+        assert timeline.border == pytest.approx(12.0)
+        shuffle = timeline.entries_of_class(TaskClass.SHUFFLE_SORT)[0]
+        assert shuffle.start == pytest.approx(12.0)
+
+    def test_without_slow_start_border_is_last_map_end(self):
+        timeline = make_timeline(make_input(slow_start=False))
+        assert timeline.border == pytest.approx(timeline.last_map_end())
+
+    def test_remote_shuffle_penalty(self):
+        timeline = make_timeline()
+        shuffle = timeline.entries_of_class(TaskClass.SHUFFLE_SORT)[0]
+        maps = timeline.entries_of_class(TaskClass.MAP)
+        remote_maps = sum(1 for entry in maps if entry.node_id != shuffle.node_id)
+        # Algorithm 1 line 16: each remote map adds sd / |R| (= ss_net / m here).
+        expected_extra = remote_maps * (3.0 / 4)
+        # The merge-after-last-map refinement may extend the segment, so the
+        # duration is at least the base + remote penalty.
+        assert shuffle.duration >= 2.0 + expected_extra - 1e-9
+
+    def test_merge_starts_after_last_map(self):
+        timeline = make_timeline()
+        merge = timeline.entries_of_class(TaskClass.MERGE)[0]
+        assert merge.start >= timeline.last_map_end() - 1e-9
+
+    def test_makespan_and_busy_time(self):
+        timeline = make_timeline()
+        assert timeline.makespan >= timeline.last_map_end()
+        assert timeline.busy_time(TaskClass.MAP) == pytest.approx(4 * 12.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ModelError):
+            build_timeline(make_input(), -1.0, 1.0, 1.0, 1.0)
+
+
+class TestTimelineWaves:
+    def test_two_waves_when_capacity_is_short(self):
+        model_input = make_input(num_nodes=2, num_maps=8, maps_per_node=2)
+        timeline = make_timeline(model_input)
+        maps = timeline.entries_of_class(TaskClass.MAP)
+        first_wave = [entry for entry in maps if entry.start == pytest.approx(0.0)]
+        second_wave = [entry for entry in maps if entry.start > 0]
+        assert len(first_wave) == 4
+        assert len(second_wave) == 4
+        assert all(entry.start == pytest.approx(12.0) for entry in second_wave)
+
+    @given(
+        num_maps=st.integers(min_value=1, max_value=40),
+        num_nodes=st.integers(min_value=1, max_value=8),
+        maps_per_node=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_per_node_concurrency_never_exceeds_cap(self, num_maps, num_nodes, maps_per_node):
+        model_input = make_input(
+            num_nodes=num_nodes, num_maps=num_maps, maps_per_node=maps_per_node
+        )
+        timeline = make_timeline(model_input)
+        maps = timeline.entries_of_class(TaskClass.MAP)
+        # Check concurrency at every map start instant.
+        for probe in maps:
+            concurrent = sum(
+                1
+                for other in maps
+                if other.node_id == probe.node_id
+                and other.start <= probe.start + 1e-9
+                and other.end > probe.start + 1e-9
+            )
+            assert concurrent <= maps_per_node
+
+    @given(num_maps=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_lower_bound(self, num_maps):
+        model_input = make_input(num_nodes=2, num_maps=num_maps, maps_per_node=2)
+        timeline = make_timeline(model_input)
+        # Makespan is at least the critical path: one wave of maps + merge.
+        assert timeline.makespan >= 12.0 + 10.0 - 1e-9
+
+
+class TestPhases:
+    def test_phases_cover_makespan(self):
+        timeline = make_timeline()
+        phases = segment_phases(timeline)
+        assert phases[0].start == pytest.approx(0.0)
+        assert phases[-1].end == pytest.approx(timeline.makespan)
+        for first, second in zip(phases, phases[1:]):
+            assert second.start == pytest.approx(first.end)
+
+    def test_phase_parallelism(self):
+        timeline = make_timeline()
+        phases = segment_phases(timeline)
+        assert max(phase.parallelism for phase in phases) >= 3
+
+
+class TestPrecedenceTree:
+    def test_leaves_match_task_instances(self):
+        timeline = make_timeline()
+        tree = build_precedence_tree(timeline)
+        leaves = tree_leaves(tree)
+        assert len(leaves) == 4 + 1 + 1  # maps + shuffle-sort + merge
+        classes = {leaf.task_class for leaf in leaves}
+        assert classes == {TaskClass.MAP, TaskClass.SHUFFLE_SORT, TaskClass.MERGE}
+
+    def test_binary_tree_operator_count(self):
+        timeline = make_timeline()
+        tree = build_precedence_tree(timeline)
+        counts = tree_operator_counts(tree)
+        # A binary tree over L leaves has exactly L - 1 internal nodes.
+        assert counts[OperatorKind.SERIAL] + counts[OperatorKind.PARALLEL] == 6 - 1
+
+    def test_balanced_shallower_than_left_deep(self):
+        model_input = make_input(num_nodes=4, num_maps=16, maps_per_node=4)
+        timeline = make_timeline(model_input)
+        balanced = build_precedence_tree(timeline, balanced=True)
+        left_deep = build_precedence_tree(timeline, balanced=False)
+        assert tree_depth(balanced) <= tree_depth(left_deep)
+        assert len(tree_leaves(balanced)) == len(tree_leaves(left_deep))
+
+    def test_more_maps_deepen_the_tree(self):
+        small = build_precedence_tree(make_timeline(make_input(num_maps=4)))
+        large = build_precedence_tree(
+            make_timeline(make_input(num_maps=32, maps_per_node=16))
+        )
+        assert tree_depth(large) > tree_depth(small)
+
+    def test_isomorphism_of_identical_timelines(self):
+        first = build_precedence_tree(make_timeline())
+        second = build_precedence_tree(make_timeline())
+        assert trees_isomorphic(first, second)
+
+    def test_empty_timeline_rejected(self):
+        from repro.core.timeline import Timeline
+
+        with pytest.raises(ModelError):
+            build_precedence_tree(Timeline(entries=[], num_nodes=1, slow_start=True))
+
+
+class TestBalancer:
+    def _leaves(self, count):
+        return [
+            LeafNode(instance=TaskInstance(TaskClass.MAP, index), mean_response_time=1.0)
+            for index in range(count)
+        ]
+
+    def test_balanced_depth_is_logarithmic(self):
+        tree = balanced_parallel_tree(self._leaves(8))
+        assert tree_depth(tree) == 3
+
+    def test_left_deep_depth_is_linear(self):
+        tree = left_deep_parallel_tree(self._leaves(8))
+        assert tree_depth(tree) == 7
+
+    def test_rebalancing_preserves_leaves(self):
+        unbalanced = left_deep_parallel_tree(self._leaves(9))
+        balanced = balance_parallel_subtrees(unbalanced)
+        assert len(tree_leaves(balanced)) == 9
+        assert tree_depth(balanced) <= 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            balanced_parallel_tree([])

@@ -1,0 +1,68 @@
+"""End-to-end tests: the experiment runner ties simulator and model together."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EstimatorKind
+from repro.experiments import FIGURE_DEFINITIONS, figure_definition, run_experiment_point, run_figure
+from repro.exceptions import ExperimentError
+from repro.units import gigabytes, megabytes
+from repro.workloads import WorkloadSpec
+
+
+class TestFigureDefinitions:
+    def test_all_six_figures_defined(self):
+        assert set(FIGURE_DEFINITIONS) == {
+            "figure10", "figure11", "figure12", "figure13", "figure14", "figure15",
+        }
+
+    def test_grids_match_paper(self):
+        fig10 = figure_definition("figure10")
+        assert fig10.node_counts == (4, 6, 8)
+        assert fig10.num_jobs_values == (1,)
+        assert fig10.input_size_bytes == gigabytes(1)
+        fig14 = figure_definition("figure14")
+        assert fig14.num_jobs_values == (1, 2, 3, 4)
+        assert fig14.node_counts == (4,)
+        fig15 = figure_definition("figure15")
+        assert fig15.block_size_bytes == megabytes(64)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ExperimentError):
+            figure_definition("figure99")
+
+    def test_grid_alignment(self):
+        for definition in FIGURE_DEFINITIONS.values():
+            assert len(definition.grid()) == len(definition.x_values())
+
+
+class TestExperimentPoint:
+    def test_point_produces_measurement_and_estimates(self):
+        workload = WorkloadSpec.wordcount(gigabytes(1), num_jobs=1, num_reduces=2)
+        point = run_experiment_point(workload, num_nodes=4, repetitions=1, base_seed=5)
+        assert point.measured_seconds > 0
+        assert point.forkjoin_seconds > 0
+        assert point.tripathi_seconds > 0
+        # Both estimates stay within a factor of two of the measurement
+        # (the paper's errors are far smaller; this is a sanity band).
+        assert abs(point.forkjoin_error) < 1.0
+        assert abs(point.tripathi_error) < 1.0
+
+    def test_tripathi_above_forkjoin(self):
+        workload = WorkloadSpec.wordcount(gigabytes(1), num_jobs=1, num_reduces=2)
+        point = run_experiment_point(workload, num_nodes=4, repetitions=1, base_seed=5)
+        assert point.tripathi_seconds >= point.forkjoin_seconds
+
+
+class TestFigureRun:
+    def test_figure10_series_shape(self):
+        series = run_figure("figure10", repetitions=1, base_seed=3)
+        data = series.series()
+        assert set(data) == {"HadoopSetup", "Fork/join", "Tripathi"}
+        assert len(data["HadoopSetup"]) == 3
+        # Response times must not grow when nodes are added.
+        measured = data["HadoopSetup"]
+        assert measured[-1] <= measured[0] * 1.10
+        errors = series.errors(EstimatorKind.FORK_JOIN)
+        assert all(abs(error) < 0.6 for error in errors)

@@ -1,0 +1,160 @@
+"""Tests for :mod:`repro.queueing.distributions`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import DistributionError
+from repro.queueing.distributions import (
+    DeterministicDistribution,
+    DistributionKind,
+    ErlangDistribution,
+    HyperexponentialDistribution,
+    fit_distribution,
+    fit_from_moments,
+    maximum_of,
+    sum_of,
+)
+
+
+class TestErlang:
+    def test_moments(self):
+        erlang = ErlangDistribution(shape=4, rate=2.0)
+        assert erlang.mean == pytest.approx(2.0)
+        assert erlang.variance == pytest.approx(1.0)
+        assert erlang.coefficient_of_variation == pytest.approx(0.5)
+
+    def test_cdf_monotone_and_bounded(self):
+        erlang = ErlangDistribution(shape=3, rate=1.5)
+        times = np.linspace(0, 20, 200)
+        cdf = erlang.cdf(times)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[0] == pytest.approx(0.0, abs=1e-9)
+        assert cdf[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DistributionError):
+            ErlangDistribution(shape=0, rate=1.0)
+        with pytest.raises(DistributionError):
+            ErlangDistribution(shape=1, rate=0.0)
+
+
+class TestHyperexponential:
+    def test_moments_and_cv_above_one(self):
+        hyper = HyperexponentialDistribution(probabilities=(0.8, 0.2), rates=(2.0, 0.25))
+        assert hyper.mean == pytest.approx(0.8 / 2.0 + 0.2 / 0.25)
+        assert hyper.coefficient_of_variation > 1.0
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(DistributionError):
+            HyperexponentialDistribution(probabilities=(0.7, 0.2), rates=(1.0, 1.0))
+
+    def test_cdf_bounded(self):
+        hyper = HyperexponentialDistribution(probabilities=(0.5, 0.5), rates=(1.0, 3.0))
+        times = np.linspace(0, 30, 100)
+        cdf = hyper.cdf(times)
+        assert np.all((cdf >= 0) & (cdf <= 1))
+
+
+class TestFitDistribution:
+    def test_cv_below_one_gives_erlang(self):
+        fitted = fit_distribution(10.0, 0.5)
+        assert fitted.kind is DistributionKind.ERLANG
+        assert fitted.mean == pytest.approx(10.0)
+        assert fitted.coefficient_of_variation == pytest.approx(0.5, rel=0.2)
+
+    def test_cv_above_one_gives_hyperexponential(self):
+        fitted = fit_distribution(10.0, 1.5)
+        assert fitted.kind is DistributionKind.HYPEREXPONENTIAL
+        assert fitted.mean == pytest.approx(10.0)
+        assert fitted.coefficient_of_variation == pytest.approx(1.5, rel=0.05)
+
+    def test_cv_of_one_is_exponential(self):
+        fitted = fit_distribution(4.0, 1.0)
+        assert fitted.kind is DistributionKind.ERLANG
+        assert fitted.coefficient_of_variation == pytest.approx(1.0)
+
+    def test_zero_mean_and_zero_cv(self):
+        assert fit_distribution(0.0, 0.5).kind is DistributionKind.DETERMINISTIC
+        assert fit_distribution(5.0, 0.0).kind is DistributionKind.DETERMINISTIC
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(DistributionError):
+            fit_distribution(-1.0, 0.5)
+        with pytest.raises(DistributionError):
+            fit_distribution(1.0, -0.5)
+
+    @given(
+        mean=st.floats(min_value=0.1, max_value=1e4),
+        cv=st.floats(min_value=0.05, max_value=3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fit_preserves_mean(self, mean, cv):
+        fitted = fit_distribution(mean, cv)
+        assert fitted.mean == pytest.approx(mean, rel=1e-6)
+
+
+class TestComposition:
+    def test_sum_adds_means_and_variances(self):
+        first = fit_distribution(5.0, 0.4)
+        second = fit_distribution(7.0, 0.8)
+        combined = sum_of([first, second])
+        assert combined.mean == pytest.approx(12.0, rel=1e-6)
+        assert combined.variance == pytest.approx(first.variance + second.variance, rel=0.05)
+
+    def test_maximum_at_least_each_mean(self):
+        first = fit_distribution(5.0, 0.5)
+        second = fit_distribution(7.0, 0.5)
+        combined = maximum_of([first, second])
+        assert combined.mean >= 7.0 - 1e-6
+        assert combined.mean <= 12.0
+
+    def test_maximum_of_single_is_identity(self):
+        only = fit_distribution(3.0, 0.5)
+        assert maximum_of([only]) is only
+
+    def test_maximum_of_deterministic(self):
+        combined = maximum_of(
+            [DeterministicDistribution(3.0), DeterministicDistribution(5.0)]
+        )
+        assert combined.mean == pytest.approx(5.0)
+        assert combined.kind is DistributionKind.DETERMINISTIC
+
+    def test_maximum_of_exponentials_matches_theory(self):
+        # E[max of two iid exponentials with mean 1] = 1.5 exactly.
+        exponential = fit_distribution(1.0, 1.0)
+        combined = maximum_of([exponential, exponential])
+        assert combined.mean == pytest.approx(1.5, rel=0.02)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(DistributionError):
+            maximum_of([])
+        with pytest.raises(DistributionError):
+            sum_of([])
+
+    @given(
+        means=st.lists(st.floats(min_value=0.5, max_value=100.0), min_size=2, max_size=4),
+        cv=st.floats(min_value=0.1, max_value=1.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_maximum_bounds(self, means, cv):
+        distributions = [fit_distribution(mean, cv) for mean in means]
+        combined = maximum_of(distributions)
+        # E[max] lies between the largest mean and the sum of the means.
+        assert combined.mean >= max(means) - 1e-6
+        assert combined.mean <= sum(means) + 1e-6
+
+
+class TestFitFromMoments:
+    def test_matches_fit_distribution(self):
+        fitted = fit_from_moments(10.0, 4.0)
+        assert fitted.mean == pytest.approx(10.0, rel=1e-6)
+        assert fitted.coefficient_of_variation == pytest.approx(math.sqrt(4.0) / 10.0, rel=0.2)
+
+    def test_negative_variance_clamped(self):
+        fitted = fit_from_moments(3.0, -1e-9)
+        assert fitted.variance == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,86 @@
+"""Tests for :mod:`repro.units`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ValidationError
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_seconds,
+    format_size,
+    gigabytes,
+    megabytes,
+    parse_size,
+)
+
+
+class TestConversions:
+    def test_megabytes(self):
+        assert megabytes(1) == MiB
+        assert megabytes(128) == 128 * MiB
+
+    def test_gigabytes(self):
+        assert gigabytes(1) == GiB
+        assert gigabytes(5) == 5 * GiB
+
+    def test_fractional_megabytes_round(self):
+        assert megabytes(0.5) == MiB // 2
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("128MB", 128 * MiB),
+            ("128 MB", 128 * MiB),
+            ("1gb", GiB),
+            ("5 GiB", 5 * GiB),
+            ("64mib", 64 * MiB),
+            ("2048", 2048),
+            (4096, 4096),
+            ("10kb", 10 * KiB),
+        ],
+    )
+    def test_valid_sizes(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["abc", "12XB", "", "MB"])
+    def test_invalid_sizes(self, text):
+        with pytest.raises(ValidationError):
+            parse_size(text)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_size(-5)
+        with pytest.raises(ValidationError):
+            parse_size("-5MB")
+
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_roundtrip_plain_integers(self, value):
+        assert parse_size(str(value)) == value
+
+
+class TestFormatting:
+    def test_format_size_chooses_suffix(self):
+        assert format_size(512) == "512 B"
+        assert format_size(2 * KiB).endswith("KiB")
+        assert format_size(3 * MiB).endswith("MiB")
+        assert format_size(7 * GiB).endswith("GiB")
+
+    def test_format_size_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            format_size(-1)
+
+    def test_format_seconds_ranges(self):
+        assert format_seconds(0.5).endswith("ms")
+        assert format_seconds(12.0).endswith("s")
+        assert "min" in format_seconds(90.0)
+        assert "h" in format_seconds(7200.0)
+
+    def test_format_seconds_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            format_seconds(-1.0)
