@@ -1,0 +1,117 @@
+"""Perf-regression bench for the simulator hot path and the overlap MVA.
+
+Unlike the figure benches (which check *what* the simulator computes), this
+bench tracks *how fast* it computes it: it times single-job simulator runs at
+8/16/32 nodes plus one overlap-MVA model solve and prints one machine-readable
+``BENCH_SCALING {json}`` line per scenario, so the perf trajectory can be
+compared across PRs by grepping CI logs.
+
+Set ``BENCH_SMOKE=1`` to run only the smallest scenario (used by CI on every
+push, where timing noise makes the larger scenarios uninformative).
+
+Reference points (this machine class): the pre-incremental engine needed
+~0.06 s / ~0.70 s / ~6.6 s for the 8/16/32-node scenarios; the incremental
+core runs them in ~0.01 s / ~0.05 s / ~0.35 s.  The asserted ceilings are
+~10x above the incremental numbers: they only catch order-of-magnitude
+regressions, not scheduler noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core import EstimatorKind, Hadoop2PerformanceModel
+from repro.units import gigabytes, megabytes
+from repro.workloads import (
+    model_input_from_profile,
+    paper_cluster,
+    paper_scheduler,
+    wordcount_profile,
+)
+
+BENCH_SEED = 2017
+
+#: (label, num_nodes, input GiB, reduces, wall-clock ceiling in seconds).
+SCENARIOS = [
+    ("sim_8n_4g", 8, 4, 8, 2.0),
+    ("sim_16n_16g", 16, 16, 16, 5.0),
+    ("sim_32n_64g", 32, 64, 32, 30.0),
+]
+
+
+def _smoke_mode() -> bool:
+    return os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def _emit(record: dict) -> None:
+    print(f"BENCH_SCALING {json.dumps(record, sort_keys=True)}")
+
+
+def time_simulator_run(num_nodes: int, input_gb: int, num_reduces: int) -> dict:
+    """Run one single-job simulation and return its timing record."""
+    from repro.hadoop import ClusterSimulator
+
+    profile = wordcount_profile(duration_cv=0.3)
+    simulator = ClusterSimulator(
+        paper_cluster(num_nodes), paper_scheduler(), seed=BENCH_SEED
+    )
+    job_config = profile.job_config(
+        input_size_bytes=gigabytes(input_gb),
+        block_size_bytes=megabytes(128),
+        num_reduces=num_reduces,
+    )
+    simulator.submit_job(job_config, profile.simulator_profile())
+    started = time.perf_counter()
+    result = simulator.run()
+    elapsed = time.perf_counter() - started
+    return {
+        "num_nodes": num_nodes,
+        "input_gb": input_gb,
+        "elapsed_seconds": elapsed,
+        "makespan": result.makespan,
+        "tasks": sum(len(trace.tasks) for trace in result.job_traces),
+    }
+
+
+def time_overlap_mva_solve() -> dict:
+    """Solve the analytic model once (overlap MVA inside) and time it."""
+    profile = wordcount_profile()
+    cluster = paper_cluster(8)
+    job_config = profile.job_config(gigabytes(8), megabytes(128), 8)
+    model_input = model_input_from_profile(profile, cluster, job_config, num_jobs=2)
+    started = time.perf_counter()
+    prediction = Hadoop2PerformanceModel(model_input).predict(EstimatorKind.FORK_JOIN)
+    elapsed = time.perf_counter() - started
+    return {
+        "elapsed_seconds": elapsed,
+        "iterations": prediction.iterations,
+        "estimate": prediction.job_response_time,
+    }
+
+
+def test_bench_simulator_scaling():
+    scenarios = SCENARIOS[:1] if _smoke_mode() else SCENARIOS
+    print()
+    for label, num_nodes, input_gb, num_reduces, ceiling in scenarios:
+        record = time_simulator_run(num_nodes, input_gb, num_reduces)
+        record["bench"] = label
+        _emit(record)
+        assert record["makespan"] > 0
+        assert record["elapsed_seconds"] < ceiling, (
+            f"{label}: simulation took {record['elapsed_seconds']:.2f}s "
+            f"(ceiling {ceiling}s) — hot-path regression?"
+        )
+
+
+def test_bench_overlap_mva_solve():
+    record = time_overlap_mva_solve()
+    record["bench"] = "overlap_mva_8n_2j"
+    print()
+    _emit(record)
+    assert record["estimate"] > 0
+    # One full A1-A6 solve (tens of vectorised MVA fixed points) is
+    # interactive-speed; anything past a second means the solver loop
+    # reverted to per-element Python work.
+    assert record["elapsed_seconds"] < 1.0

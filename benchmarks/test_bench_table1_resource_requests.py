@@ -35,21 +35,17 @@ def build_running_example_am() -> MRAppMaster:
         profile=JobResourceProfile(duration_cv=0.0),
         splits=hdfs.splits_for_job(job_config),
     )
+    # A zero slow-start threshold makes the AM request its reduce container
+    # at registration time, which is the state Table 1 captures.
     app_master = MRAppMaster(
         job=job,
-        scheduler_config=SchedulerConfig(),
+        scheduler_config=SchedulerConfig(slowstart_completed_maps=0.0),
         map_resource=Resource.from_spec(cluster_config.map_container),
         reduce_resource=Resource.from_spec(cluster_config.reduce_container),
         num_cluster_nodes=3,
     )
-    # AM container granted and registered; slow start disabled threshold means
-    # reduces are requested immediately only when no maps exist, so force the
-    # reduce request the way the real AM does once the ramp-up condition holds.
     app_master.am_requested = True
     app_master.on_registered(time=0.0)
-    for task in job.reduce_tasks:
-        task.mark_scheduled(0.0)
-    app_master.reduces_scheduled = True
     return app_master
 
 

@@ -277,6 +277,17 @@ class ModifiedMVASolver:
             task_class: model_input.demands[task_class].coefficient_of_variation
             for task_class in TaskClass.ordered()
         }
+        # Precomputed index maps for extracting residence times from the MVA
+        # solution (the solution arrays share the network's class/center
+        # order, so repeated ``list.index`` scans per iteration are avoided).
+        class_row = {
+            task_class: network.class_names.index(task_class.value)
+            for task_class in TaskClass.ordered()
+        }
+        center_column = {
+            center: network.center_index(center.value)
+            for center in ServiceCenterName.ordered()
+        }
 
         # A1: initialise residence times (per center) from the seed values.
         residences = self._initial_residences(model_input, initial_response_times)
@@ -298,8 +309,7 @@ class ModifiedMVASolver:
                 task_class: {
                     center: float(
                         solution.residence_times[
-                            solution.class_names.index(task_class.value),
-                            solution.center_names.index(center.value),
+                            class_row[task_class], center_column[center]
                         ]
                     )
                     for center in ServiceCenterName.ordered()

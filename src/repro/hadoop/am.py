@@ -93,6 +93,14 @@ class MRAppMaster:
         self._tasks: dict[str, TaskAttempt] = {
             task.task_id: task for task in job.all_tasks
         }
+        #: Tasks currently in the SCHEDULED state, in scheduling order
+        #: (insertion-ordered dicts).  Maintained so each allocation pass can
+        #: enumerate outstanding requests without rescanning every task.
+        self._scheduled_maps: dict[str, TaskAttempt] = {}
+        self._scheduled_reduces: dict[str, TaskAttempt] = {}
+        #: Cached ask list; invalidated whenever the scheduled sets or the
+        #: AM-container state change.
+        self._asks_cache: list[ContainerAsk] | None = None
 
     # -- request generation -----------------------------------------------------
 
@@ -109,7 +117,13 @@ class MRAppMaster:
         Ordering: the AM's own container, then map tasks (priority 20), then
         reduce tasks (priority 10) — which matches how the RM serves
         priorities (larger value first, per the paper's convention).
+
+        The list is assembled from the incrementally maintained scheduled-task
+        sets and cached between state changes, so repeated allocation passes
+        do not rescan (or re-allocate asks for) every task of the job.
         """
+        if self._asks_cache is not None:
+            return self._asks_cache
         asks: list[ContainerAsk] = []
         if not self.am_requested and self.am_container is None:
             asks.append(
@@ -121,36 +135,33 @@ class MRAppMaster:
                     task_id=None,
                 )
             )
+            self._asks_cache = asks
             return asks
         if not self.registered:
+            self._asks_cache = asks
             return asks
-        for task in self.job.map_tasks:
-            if task.state is TaskState.SCHEDULED:
-                preferred = (
-                    task.preferred_nodes
-                    if self.scheduler_config.respect_map_locality
-                    else ()
+        respect_locality = self.scheduler_config.respect_map_locality
+        for task in self._scheduled_maps.values():
+            asks.append(
+                ContainerAsk(
+                    priority=Priority.MAP,
+                    resource=self.map_resource,
+                    preferred_nodes=task.preferred_nodes if respect_locality else (),
+                    task_type="map",
+                    task_id=task.task_id,
                 )
-                asks.append(
-                    ContainerAsk(
-                        priority=Priority.MAP,
-                        resource=self.map_resource,
-                        preferred_nodes=preferred,
-                        task_type="map",
-                        task_id=task.task_id,
-                    )
+            )
+        for task in self._scheduled_reduces.values():
+            asks.append(
+                ContainerAsk(
+                    priority=Priority.REDUCE,
+                    resource=self.reduce_resource,
+                    preferred_nodes=(),
+                    task_type="reduce",
+                    task_id=task.task_id,
                 )
-        for task in self.job.reduce_tasks:
-            if task.state is TaskState.SCHEDULED:
-                asks.append(
-                    ContainerAsk(
-                        priority=Priority.REDUCE,
-                        resource=self.reduce_resource,
-                        preferred_nodes=(),
-                        task_type="reduce",
-                        task_id=task.task_id,
-                    )
-                )
+            )
+        self._asks_cache = asks
         return asks
 
     def resource_request_table(self) -> ResourceRequestTable:
@@ -187,6 +198,7 @@ class MRAppMaster:
         """The RM granted the container that will host the AM itself."""
         self.am_container = container
         self.am_requested = True
+        self._asks_cache = None
 
     def on_registered(self, time: float) -> None:
         """AM process is up: send the map requests (and reduces if trivially due)."""
@@ -195,6 +207,8 @@ class MRAppMaster:
         for task in self.job.map_tasks:
             if task.state is TaskState.PENDING:
                 task.mark_scheduled(time)
+                self._scheduled_maps[task.task_id] = task
+        self._asks_cache = None
         self._maybe_schedule_reduces(time)
 
     def _maybe_schedule_reduces(self, time: float) -> None:
@@ -207,7 +221,9 @@ class MRAppMaster:
             for task in self.job.reduce_tasks:
                 if task.state is TaskState.PENDING:
                     task.mark_scheduled(time)
+                    self._scheduled_reduces[task.task_id] = task
             self.reduces_scheduled = True
+            self._asks_cache = None
 
     def match_container(self, container: Container, hinted_task_id: str | None) -> TaskAttempt:
         """Late binding: pick the task that will actually use ``container``.
@@ -219,11 +235,12 @@ class MRAppMaster:
         wanted_type = (
             TaskType.MAP if container.priority is Priority.MAP else TaskType.REDUCE
         )
-        candidates = [
-            task
-            for task in (self.job.map_tasks if wanted_type is TaskType.MAP else self.job.reduce_tasks)
-            if task.state is TaskState.SCHEDULED
-        ]
+        scheduled = (
+            self._scheduled_maps
+            if wanted_type is TaskType.MAP
+            else self._scheduled_reduces
+        )
+        candidates = list(scheduled.values())
         if not candidates:
             raise SimulationError(
                 f"job {self.job.job_id}: container granted but no {wanted_type.value} "
@@ -245,6 +262,11 @@ class MRAppMaster:
         """Bind a granted task container to a concrete task attempt."""
         task = self.match_container(container, hinted_task_id)
         task.mark_assigned(time, node_id=container.node_id, container_id=container.container_id)
+        if task.task_type is TaskType.MAP:
+            self._scheduled_maps.pop(task.task_id, None)
+        else:
+            self._scheduled_reduces.pop(task.task_id, None)
+        self._asks_cache = None
         container.assigned_task = task.task_id
         self._held[container.container_id] = task.task_id
         return task
@@ -292,8 +314,7 @@ class MRAppMaster:
         factor = self._duration_factor()
         if factor != 1.0:
             for stage in stages:
-                stage.amount *= factor
-                stage.remaining = stage.amount
+                stage.scale(factor)
         task.set_stages(stages)
 
     def _expected_shuffle_split(self, reduce_node: int) -> tuple[float, float]:

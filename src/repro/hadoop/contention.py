@@ -45,6 +45,9 @@ class SharingModel:
 
     def __init__(self, node_spec: NodeSpec) -> None:
         self.node_spec = node_spec
+        # Rates only depend on (kind, active count); the cluster is
+        # homogeneous, so memoizing keeps the hot path to a dict lookup.
+        self._rate_cache: dict[tuple[StageKind, int], float] = {}
 
     def rate(self, kind: StageKind, demand: ResourceDemandCount) -> float:
         """Processing rate for one stage of ``kind``.
@@ -52,13 +55,21 @@ class SharingModel:
         Returns core-seconds/second for CPU stages (i.e. dimensionless
         progress rate) and bytes/second for disk and network stages.
         """
-        active = demand.count(kind)
+        return self.rate_for_count(kind, demand.count(kind))
+
+    def rate_for_count(self, kind: StageKind, active: int) -> float:
+        """Processing rate for one stage of ``kind`` among ``active`` sharers."""
+        cached = self._rate_cache.get((kind, active))
+        if cached is not None:
+            return cached
         if active <= 0:
             raise SimulationError("rate requested with no active stage")
         spec = self.node_spec
         if kind is StageKind.CPU:
-            share = min(1.0, spec.cpu_cores / active)
-            return share * spec.cpu_speed_factor
-        if kind is StageKind.DISK:
-            return spec.disk_bandwidth * spec.disk_count / active
-        return spec.network_bandwidth / active
+            value = min(1.0, spec.cpu_cores / active) * spec.cpu_speed_factor
+        elif kind is StageKind.DISK:
+            value = spec.disk_bandwidth * spec.disk_count / active
+        else:
+            value = spec.network_bandwidth / active
+        self._rate_cache[(kind, active)] = value
+        return value

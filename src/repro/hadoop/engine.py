@@ -1,10 +1,22 @@
-"""Fluid processor-sharing execution engine.
+"""Fluid processor-sharing execution engine (incremental core).
 
 The engine advances the work stages of all running task attempts between
 discrete events.  Between two events the set of active stages is constant, so
 each stage progresses at a constant rate determined by the
 :class:`~repro.hadoop.contention.SharingModel`; the next interesting instant
 is the earliest stage completion (or shuffle stall boundary).
+
+The implementation is event-incremental: instead of rescanning every stage of
+every active attempt on each event, the engine caches per attempt the index
+of its current stage (advanced only on stage completion), keeps the per-node
+:class:`~repro.hadoop.contention.ResourceDemandCount` triples up to date on
+membership / stage-transition / stall changes only, and reuses the stage
+rates computed for :meth:`ExecutionEngine.time_to_next_completion` in the
+subsequent :meth:`ExecutionEngine.advance` call.  Shuffle stall states are
+the only quantity that cannot be updated purely incrementally (they depend on
+map completions recorded by the simulator between engine calls); they are
+re-evaluated in O(1) per *running reducer in its network stage* before any
+rate is used.
 
 The engine deliberately knows nothing about YARN: it only sees running tasks,
 the node each one runs on, and the shuffle availability tracker.  The
@@ -14,26 +26,45 @@ ResourceManager / ApplicationMaster logic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from ..exceptions import SimulationError
 from .cluster import Cluster
 from .contention import ResourceDemandCount, SharingModel
 from .shuffle import ShuffleTracker
-from .tasks import StageKind, TaskAttempt, TaskType
+from .tasks import StageKind, TaskAttempt, TaskType, WorkStage
 
 #: Numerical slack when deciding whether a stage has finished.
 _EPSILON = 1e-9
 #: Upper bound returned when no stage can complete (engine idle / all stalled).
 INFINITY = float("inf")
 
+#: Slot of each stage kind inside the per-node ``[cpu, disk, network]`` counts.
+_KIND_SLOT = {StageKind.CPU: 0, StageKind.DISK: 1, StageKind.NETWORK: 2}
 
-@dataclass
+
 class _ActiveTask:
-    """A running attempt plus the node hosting it."""
+    """A running attempt plus the cached execution state the engine maintains."""
 
-    attempt: TaskAttempt
-    node_id: int
+    __slots__ = (
+        "attempt",
+        "node_id",
+        "stage_index",
+        "stage",
+        "slot",
+        "is_reduce_network",
+        "stalled",
+    )
+
+    def __init__(self, attempt: TaskAttempt, node_id: int, stage_index: int) -> None:
+        self.attempt = attempt
+        self.node_id = node_id
+        self.stage_index = stage_index
+        self.stage: WorkStage = attempt.stages[stage_index]
+        self.slot = _KIND_SLOT[self.stage.kind]
+        self.is_reduce_network = (
+            self.stage.kind is StageKind.NETWORK
+            and attempt.task_type is TaskType.REDUCE
+        )
+        self.stalled = False
 
 
 class ExecutionEngine:
@@ -44,6 +75,21 @@ class ExecutionEngine:
         self.shuffle = shuffle_tracker
         self.sharing = SharingModel(cluster.config.node)
         self._active: dict[str, _ActiveTask] = {}
+        #: Per-node ``[cpu, disk, network]`` counts of active, non-stalled stages.
+        self._demand: dict[int, list[int]] = {}
+        #: Active reducers whose current stage is their network (shuffle) stage.
+        self._network_entries: dict[str, _ActiveTask] = {}
+        #: Entries added since the last advance whose leading zero-work stages
+        #: still need their timestamps stamped (mirrors the full-scan stamping
+        #: the non-incremental engine performed on every advance).
+        self._pending_stamp: list[_ActiveTask] = []
+        #: Per-node ``(cpu, disk, network)`` stage-rate vectors for the current
+        #: demand counts, plus a memo keyed by the count triple (the cluster is
+        #: homogeneous, so many nodes share the same contention state).
+        self._node_rates: dict[int, tuple[float, float, float]] = {}
+        self._rates_by_counts: dict[tuple[int, int, int], tuple[float, float, float]] = {}
+        #: Whether ``_node_rates`` matches the current demand counts.
+        self._rates_fresh = False
 
     # -- membership --------------------------------------------------------------
 
@@ -53,15 +99,28 @@ class ExecutionEngine:
             raise SimulationError(f"task {attempt.task_id} is already executing")
         if attempt.assigned_node is None:
             raise SimulationError(f"task {attempt.task_id} has no node")
-        stage = attempt.current_stage()
-        if stage is None:
+        stage_index = attempt.first_unfinished_index()
+        if stage_index is None:
             raise SimulationError(f"task {attempt.task_id} has no work to do")
-        stage.started_at = now
-        self._active[attempt.task_id] = _ActiveTask(attempt=attempt, node_id=attempt.assigned_node)
+        entry = _ActiveTask(attempt, attempt.assigned_node, stage_index)
+        entry.stage.started_at = now
+        self._active[attempt.task_id] = entry
+        if entry.is_reduce_network:
+            self._network_entries[attempt.task_id] = entry
+        self._demand_add(entry.node_id, entry.stage.kind)
+        if stage_index > 0:
+            self._pending_stamp.append(entry)
+        self._rates_fresh = False
 
     def remove_task(self, attempt: TaskAttempt) -> None:
         """Stop tracking a (completed) attempt."""
-        self._active.pop(attempt.task_id, None)
+        entry = self._active.pop(attempt.task_id, None)
+        if entry is None:
+            return
+        self._network_entries.pop(attempt.task_id, None)
+        if not entry.stalled:
+            self._demand_remove(entry.node_id, entry.stage.kind)
+        self._rates_fresh = False
 
     @property
     def active_tasks(self) -> list[TaskAttempt]:
@@ -72,10 +131,75 @@ class ExecutionEngine:
         """Whether any attempt is currently executing."""
         return bool(self._active)
 
-    # -- rate computation ----------------------------------------------------------
+    # -- incremental demand bookkeeping -------------------------------------------
 
-    def _demand_counts(self) -> dict[int, ResourceDemandCount]:
-        """Per-node counts of active, non-stalled stages per resource."""
+    def _demand_add(self, node_id: int, kind: StageKind) -> None:
+        counts = self._demand.get(node_id)
+        if counts is None:
+            counts = self._demand[node_id] = [0, 0, 0]
+        counts[_KIND_SLOT[kind]] += 1
+
+    def _demand_remove(self, node_id: int, kind: StageKind) -> None:
+        counts = self._demand.get(node_id)
+        if counts is None or counts[_KIND_SLOT[kind]] <= 0:
+            raise SimulationError(
+                f"demand underflow on node {node_id} for {kind.value}"
+            )
+        counts[_KIND_SLOT[kind]] -= 1
+
+    def _refresh_stalls(self) -> None:
+        """Re-evaluate shuffle stall states (map completions change them)."""
+        for entry in self._network_entries.values():
+            stalled = self.shuffle.is_stalled_stage(entry.attempt, entry.stage)
+            if stalled != entry.stalled:
+                entry.stalled = stalled
+                if stalled:
+                    self._demand_remove(entry.node_id, StageKind.NETWORK)
+                else:
+                    self._demand_add(entry.node_id, StageKind.NETWORK)
+                self._rates_fresh = False
+
+    def _compute_rates(self) -> None:
+        """Recompute the per-node stage-rate vectors from the demand counts."""
+        rate_for_count = self.sharing.rate_for_count
+        memo = self._rates_by_counts
+        node_rates = self._node_rates
+        node_rates.clear()
+        for node_id, counts in self._demand.items():
+            key = (counts[0], counts[1], counts[2])
+            rates = memo.get(key)
+            if rates is None:
+                rates = (
+                    rate_for_count(StageKind.CPU, key[0]) if key[0] else 0.0,
+                    rate_for_count(StageKind.DISK, key[1]) if key[1] else 0.0,
+                    rate_for_count(StageKind.NETWORK, key[2]) if key[2] else 0.0,
+                )
+                memo[key] = rates
+            node_rates[node_id] = rates
+        self._rates_fresh = True
+
+    def _ensure_fresh(self) -> None:
+        self._refresh_stalls()
+        if not self._rates_fresh:
+            self._compute_rates()
+
+    # -- introspection (testing / debugging) ---------------------------------------
+
+    def demand_snapshot(self) -> dict[int, ResourceDemandCount]:
+        """The incrementally maintained per-node demand counts."""
+        return {
+            node_id: ResourceDemandCount(cpu=counts[0], disk=counts[1], network=counts[2])
+            for node_id, counts in self._demand.items()
+            if counts[0] or counts[1] or counts[2]
+        }
+
+    def recount_demand(self) -> dict[int, ResourceDemandCount]:
+        """From-scratch recount of the demand counts (test oracle).
+
+        Recomputes each attempt's current stage and stall state without using
+        any cached engine state, exactly like the pre-incremental engine did
+        on every event.
+        """
         cpu: dict[int, int] = {}
         disk: dict[int, int] = {}
         network: dict[int, int] = {}
@@ -100,38 +224,31 @@ class ExecutionEngine:
             for node in nodes
         }
 
-    def _stage_rate(self, entry: _ActiveTask, demand: dict[int, ResourceDemandCount]) -> float:
-        """Current processing rate for the entry's current stage (0 when stalled)."""
-        stage = entry.attempt.current_stage()
-        if stage is None:
-            return 0.0
-        if stage.kind is StageKind.NETWORK and self.shuffle.is_stalled(entry.attempt):
-            return 0.0
-        node_demand = demand.get(entry.node_id)
-        if node_demand is None or node_demand.count(stage.kind) == 0:
-            return 0.0
-        return self.sharing.rate(stage.kind, node_demand)
-
     # -- time stepping -----------------------------------------------------------
 
     def time_to_next_completion(self) -> float:
         """Smallest time until some active stage completes (or hits its shuffle cap).
 
         Returns :data:`INFINITY` when nothing is running or everything is
-        stalled waiting for map output.
+        stalled waiting for map output.  The rates computed here are cached
+        and reused by the immediately following :meth:`advance` call.
         """
-        demand = self._demand_counts()
+        self._ensure_fresh()
+        shuffle = self.shuffle
+        node_rates = self._node_rates
         horizon = INFINITY
         for entry in self._active.values():
-            stage = entry.attempt.current_stage()
-            if stage is None:
+            if entry.stalled:
                 continue
-            rate = self._stage_rate(entry, demand)
+            rate = node_rates[entry.node_id][entry.slot]
             if rate <= 0:
                 continue
+            stage = entry.stage
             remaining = stage.remaining
-            if stage.kind is StageKind.NETWORK and entry.attempt.task_type is TaskType.REDUCE:
-                remaining = min(remaining, self.shuffle.processable_bytes(entry.attempt))
+            if entry.is_reduce_network:
+                remaining = min(
+                    remaining, shuffle.processable_bytes_stage(entry.attempt, stage)
+                )
                 if remaining <= _EPSILON:
                     continue
             step = remaining / rate
@@ -139,7 +256,8 @@ class ExecutionEngine:
                 # Guard against zero-length progress steps from floating-point
                 # residue; treat the stage as completing "now".
                 step = 1e-9
-            horizon = min(horizon, step)
+            if step < horizon:
+                horizon = step
         return horizon
 
     def advance(self, dt: float, now: float) -> list[TaskAttempt]:
@@ -151,38 +269,86 @@ class ExecutionEngine:
         """
         if dt < 0:
             raise SimulationError("cannot advance time backwards")
-        demand = self._demand_counts()
         completed: list[TaskAttempt] = []
+        transitioned: list[_ActiveTask] = []
         if dt > 0:
+            if not self._rates_fresh:
+                self._ensure_fresh()
+            node_rates = self._node_rates
             for entry in self._active.values():
-                stage = entry.attempt.current_stage()
-                if stage is None:
+                if entry.stalled:
                     continue
-                rate = self._stage_rate(entry, demand)
+                rate = node_rates[entry.node_id][entry.slot]
                 if rate <= 0:
                     continue
+                stage = entry.stage
                 stage.remaining -= rate * dt
                 if stage.is_finished:
                     stage.remaining = 0.0
-                if entry.attempt.task_type is TaskType.REDUCE and stage.kind is StageKind.NETWORK:
+                    transitioned.append(entry)
+                if entry.is_reduce_network:
                     entry.attempt.shuffled_bytes = stage.amount - stage.remaining
-        # Handle stage transitions and task completions at the new time: stamp
-        # the finish time of every newly finished stage and the start time of
-        # the stage that becomes current.
-        for entry in list(self._active.values()):
-            attempt = entry.attempt
-            for stage in attempt.stages:
-                if stage.is_finished:
+        # Stamp the leading zero-work stages of attempts added since the last
+        # advance (the non-incremental engine stamped them on its next full
+        # stage scan, i.e. at this very timestamp).
+        if self._pending_stamp:
+            for entry in self._pending_stamp:
+                if self._active.get(entry.attempt.task_id) is not entry:
+                    continue
+                for stage in entry.attempt.stages[: entry.stage_index]:
                     if stage.finished_at is None:
                         stage.finished_at = now
                         if stage.started_at is None:
-                            stage.started_at = now  # zero-work stage
+                            stage.started_at = now
+            self._pending_stamp.clear()
+        # Handle stage transitions and task completions at the new time: stamp
+        # the finish time of every newly finished stage and the start time of
+        # the stage that becomes current.
+        for entry in transitioned:
+            attempt = entry.attempt
+            stages = attempt.stages
+            finished_stage = entry.stage
+            if finished_stage.finished_at is None:
+                finished_stage.finished_at = now
+                if finished_stage.started_at is None:
+                    finished_stage.started_at = now
+            index = entry.stage_index + 1
+            while index < len(stages):
+                stage = stages[index]
+                if stage.is_finished:
+                    # Zero-work stage: starts and finishes instantaneously.
+                    if stage.finished_at is None:
+                        stage.finished_at = now
+                        if stage.started_at is None:
+                            stage.started_at = now
+                    index += 1
                     continue
                 if stage.started_at is None:
                     stage.started_at = now
                 break
-            if attempt.is_complete:
+            if index >= len(stages):
                 completed.append(attempt)
+                continue
+            # The attempt moves on to its next stage: update the cached stage
+            # pointer and the per-node demand counts (the finished stage was
+            # necessarily non-stalled, otherwise it could not have progressed).
+            self._demand_remove(entry.node_id, finished_stage.kind)
+            entry.stage_index = index
+            entry.stage = stages[index]
+            entry.slot = _KIND_SLOT[entry.stage.kind]
+            was_reduce_network = entry.is_reduce_network
+            entry.is_reduce_network = (
+                entry.stage.kind is StageKind.NETWORK
+                and attempt.task_type is TaskType.REDUCE
+            )
+            if was_reduce_network and not entry.is_reduce_network:
+                self._network_entries.pop(attempt.task_id, None)
+            elif entry.is_reduce_network and not was_reduce_network:
+                self._network_entries[attempt.task_id] = entry
+            entry.stalled = False  # re-evaluated before the next rate use
+            self._demand_add(entry.node_id, entry.stage.kind)
+        if transitioned:
+            self._rates_fresh = False
         for attempt in completed:
             self.remove_task(attempt)
         return completed

@@ -81,6 +81,9 @@ class MapReduceJob:
     _completed_output_total: float = field(default=0.0, repr=False)
     _completed_output_by_node: dict[int, float] = field(default_factory=dict, repr=False)
     _completed_map_count: int = field(default=0, repr=False)
+    #: Completed tasks of any type, maintained by :meth:`record_task_completion`
+    #: (fast path for :attr:`is_complete`).
+    _completed_task_count: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.splits) != self.config.num_maps:
@@ -107,6 +110,15 @@ class MapReduceJob:
                 )
                 for index in range(self.config.num_reduces)
             ]
+        #: task_id → attempt and task_id → map index lookups, built once so the
+        #: simulator's per-event task resolution and the shuffle bookkeeping
+        #: stay O(1) instead of scanning (and deep-comparing) the task lists.
+        self._task_by_id: dict[str, TaskAttempt] = {
+            task.task_id: task for task in self.map_tasks + self.reduce_tasks
+        }
+        self._map_index: dict[str, int] = {
+            task.task_id: index for index, task in enumerate(self.map_tasks)
+        }
 
     # -- structural properties -------------------------------------------------
 
@@ -125,9 +137,19 @@ class MapReduceJob:
         """Map tasks followed by reduce tasks."""
         return self.map_tasks + self.reduce_tasks
 
+    def task_by_id(self, task_id: str) -> TaskAttempt:
+        """The attempt with identifier ``task_id`` (O(1))."""
+        try:
+            return self._task_by_id[task_id]
+        except KeyError as exc:
+            raise SimulationError(f"unknown task {task_id}") from exc
+
     def split_for(self, map_task: TaskAttempt) -> InputSplit:
         """The input split processed by ``map_task``."""
-        index = self.map_tasks.index(map_task)
+        try:
+            index = self._map_index[map_task.task_id]
+        except KeyError as exc:
+            raise SimulationError(f"task {map_task.task_id} is not a map task") from exc
         return self.splits[index]
 
     # -- dataflow volumes --------------------------------------------------------
@@ -159,7 +181,7 @@ class MapReduceJob:
         Called by the simulator when a map task completes; safe to call at
         most once per task.
         """
-        index = self.map_tasks.index(task)
+        index = self._map_index[task.task_id]
         output = self.map_output_bytes(self.splits[index])
         self._completed_output_total += output
         node = task.assigned_node if task.assigned_node is not None else -1
@@ -187,10 +209,20 @@ class MapReduceJob:
             for task in self.map_tasks
         )
 
+    def record_task_completion(self, task: TaskAttempt) -> None:
+        """Count a completed task (simulator hook keeping :attr:`is_complete` O(1))."""
+        self._completed_task_count += 1
+
     @property
     def is_complete(self) -> bool:
         """Whether every task of the job has completed."""
-        return all(task.state is TaskState.COMPLETED for task in self.all_tasks)
+        if self._completed_task_count:
+            # The simulator counts every completion through
+            # :meth:`record_task_completion`, so the counter is authoritative.
+            return self._completed_task_count >= len(self.map_tasks) + len(self.reduce_tasks)
+        return all(task.state is TaskState.COMPLETED for task in self.map_tasks) and all(
+            task.state is TaskState.COMPLETED for task in self.reduce_tasks
+        )
 
     @property
     def response_time(self) -> float:

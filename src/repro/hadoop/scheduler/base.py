@@ -62,13 +62,20 @@ class Scheduler(ABC):
         tentative: dict[int, Resource] = {
             node.node_id: node.available for node in cluster
         }
+        # Free capacity only shrinks within a pass, so once a container shape
+        # fails to fit on every node, every later ask of the same shape fails
+        # too: remember it and skip the full fit scan.
+        unplaceable: set[Resource] = set()
 
         for app in self.application_order(applications):
             for ask in app.container_asks():
+                if ask.resource in unplaceable:
+                    continue
                 placed_node = self._place(
                     cluster, tentative, ask.preferred_nodes, ask.resource
                 )
                 if placed_node is None:
+                    unplaceable.add(ask.resource)
                     continue
                 tentative[placed_node] = tentative[placed_node] - ask.resource
                 assignments.append(
@@ -98,21 +105,24 @@ class Scheduler(ABC):
         rule of paper Section 4.2.2.  Occupancy is computed against the
         capacity still free in *this* scheduling pass (``tentative``).
         """
-        def fits(node_id: int) -> bool:
-            return tentative[node_id].covers(resource)
-
+        num_nodes = len(cluster)
         for node_id in preferred_nodes:
-            if 0 <= node_id < len(cluster) and fits(node_id):
+            if 0 <= node_id < num_nodes and tentative[node_id].covers(resource):
                 return node_id
 
-        def occupancy(node_id: int) -> float:
-            capacity = cluster.node(node_id).capacity
-            if capacity.memory_bytes == 0:
-                return 0.0
-            free = tentative[node_id].memory_bytes
-            return 1.0 - free / capacity.memory_bytes
-
-        candidates = [node.node_id for node in cluster if fits(node.node_id)]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda node_id: (occupancy(node_id), node_id))
+        # Single fused scan: find the fitting node with the lowest occupancy
+        # (ties: lowest id) without materialising a candidate list per ask.
+        best_id: int | None = None
+        best_occupancy = 0.0
+        for node in cluster:
+            free = tentative[node.node_id]
+            if not free.covers(resource):
+                continue
+            capacity_bytes = node.capacity.memory_bytes
+            occupancy = (
+                1.0 - free.memory_bytes / capacity_bytes if capacity_bytes else 0.0
+            )
+            if best_id is None or occupancy < best_occupancy:
+                best_id = node.node_id
+                best_occupancy = occupancy
+        return best_id

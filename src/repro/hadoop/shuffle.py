@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from ..exceptions import SimulationError
 from .job import MapReduceJob
-from .tasks import StageKind, TaskAttempt, TaskType
+from .tasks import StageKind, TaskAttempt, TaskType, WorkStage
 
 
 class ShuffleTracker:
@@ -66,10 +66,20 @@ class ShuffleTracker:
             return False
         if task.task_type is not TaskType.REDUCE:
             return False
-        processed = stage.amount - stage.remaining
-        cap = self.network_cap_bytes(task)
-        if self.job_for(task).all_maps_completed():
+        return self.is_stalled_stage(task, stage)
+
+    def is_stalled_stage(self, task: TaskAttempt, stage: WorkStage) -> bool:
+        """O(1) stall check for a reduce whose *current* stage is ``stage`` (network).
+
+        The execution engine caches the current network stage per running
+        reducer, so this avoids the per-event stage rescans of
+        :meth:`is_stalled` / :meth:`network_cap_bytes`.
+        """
+        job = self.job_for(task)
+        if job.all_maps_completed():
             return False
+        processed = stage.amount - stage.remaining
+        cap = min(float(stage.amount), job.shuffle_remote_available_bytes(task.assigned_node))
         return cap - processed <= self._STALL_THRESHOLD_BYTES
 
     def processable_bytes(self, task: TaskAttempt) -> float:
@@ -77,9 +87,21 @@ class ShuffleTracker:
         stage = task.current_stage()
         if stage is None or stage.kind is not StageKind.NETWORK:
             return 0.0
+        return self.processable_bytes_stage(task, stage)
+
+    def processable_bytes_stage(self, task: TaskAttempt, stage: WorkStage) -> float:
+        """O(1) variant of :meth:`processable_bytes` for a cached network stage."""
+        job = self.job_for(task)
+        all_done = job.all_maps_completed()
         processed = stage.amount - stage.remaining
-        cap = self.network_cap_bytes(task)
+        if all_done:
+            cap = float(stage.amount)
+        else:
+            cap = min(
+                float(stage.amount),
+                job.shuffle_remote_available_bytes(task.assigned_node),
+            )
         available = min(stage.remaining, cap - processed)
-        if available <= self._STALL_THRESHOLD_BYTES and not self.job_for(task).all_maps_completed():
+        if available <= self._STALL_THRESHOLD_BYTES and not all_done:
             return 0.0
         return max(0.0, available)

@@ -110,6 +110,13 @@ class ClusterSimulator:
         self._next_job_id = 0
         self._now = 0.0
         self._finished = False
+        #: Jobs that have not completed yet (keeps the per-event loop O(1)).
+        self._pending_jobs: set[int] = set()
+        #: Whether cluster capacity or outstanding requests changed since the
+        #: last allocation pass.  A scheduler pass is deterministic over an
+        #: unchanged (capacity, requests) state and grants nothing on a rerun,
+        #: so skipping redundant passes is behaviour-preserving.
+        self._needs_allocation = True
 
     # -- job submission ------------------------------------------------------------
 
@@ -140,6 +147,7 @@ class ClusterSimulator:
         )
         self._jobs[job.job_id] = job
         self._contexts[job.job_id] = _JobContext(job=job, app_master=app_master)
+        self._pending_jobs.add(job.job_id)
         self._events.push(job_config.submission_time, EventKind.JOB_SUBMIT, job.job_id)
         return job
 
@@ -192,7 +200,7 @@ class ClusterSimulator:
     # -- internals ---------------------------------------------------------------------
 
     def _all_jobs_complete(self) -> bool:
-        return all(job.is_complete for job in self._jobs.values())
+        return not self._pending_jobs
 
     def _advance_to(self, time: float) -> None:
         """Advance the fluid engine to ``time`` and process everything due."""
@@ -214,7 +222,16 @@ class ClusterSimulator:
                 raise SimulationError(f"unknown event kind {event.kind}")
 
     def _allocate(self) -> bool:
-        """Run one RM allocation pass; returns True if anything was granted."""
+        """Run one RM allocation pass; returns True if anything was granted.
+
+        Passes are only run when capacity was released or new requests
+        appeared since the previous pass; a rerun over unchanged state is a
+        deterministic no-op (capacity only shrank since the last pass, so an
+        ask that could not be placed then cannot be placed now).
+        """
+        if not self._needs_allocation:
+            return False
+        self._needs_allocation = False
         grants = self.resource_manager.allocate(self._now)
         if grants:
             self.metrics.allocation_passes += 1
@@ -249,15 +266,17 @@ class ClusterSimulator:
         job = self._jobs[job_id]
         job.submitted_at = self._now
         self.resource_manager.submit_application(self._contexts[job_id].app_master)
+        self._needs_allocation = True
 
     def _on_am_ready(self, job_id: int) -> None:
         context = self._contexts[job_id]
         context.app_master.on_registered(self._now)
+        self._needs_allocation = True
 
     def _on_task_launch(self, payload: tuple[int, str]) -> None:
         job_id, task_id = payload
         context = self._contexts[job_id]
-        task = self._find_task(context.job, task_id)
+        task = context.job.task_by_id(task_id)
         context.app_master.build_stages(task)
         task.mark_running(self._now)
         if task.task_type is TaskType.MAP:
@@ -271,6 +290,7 @@ class ClusterSimulator:
     def _on_task_completed(self, task: TaskAttempt) -> None:
         task.mark_completed(self._now)
         context = self._contexts[task.job_id]
+        context.job.record_task_completion(task)
         if task.task_type is TaskType.MAP:
             context.job.record_map_completion(task)
         self.metrics.record_completion(task, self._now)
@@ -279,6 +299,7 @@ class ClusterSimulator:
             self.node_managers[container.node_id].stop_container(container, self._now)
             self.resource_manager.release_container(container, self._now)
         context.app_master.on_task_completed(task, self._now)
+        self._needs_allocation = True
         if context.job.is_complete:
             self._finish_job(context)
 
@@ -291,10 +312,4 @@ class ClusterSimulator:
             self.resource_manager.release_container(context.am_container, self._now)
             context.am_container = None
         self.resource_manager.unregister_application(context.app_master)
-
-    @staticmethod
-    def _find_task(job: MapReduceJob, task_id: str) -> TaskAttempt:
-        for task in job.all_tasks:
-            if task.task_id == task_id:
-                return task
-        raise SimulationError(f"unknown task {task_id}")
+        self._pending_jobs.discard(context.job.job_id)

@@ -73,11 +73,20 @@ class WorkStage:
     remaining: float = field(init=False)
     started_at: float | None = None
     finished_at: float | None = None
+    #: Precomputed completion tolerance (recomputed by :meth:`scale`).
+    finish_threshold: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.amount < 0:
             raise SimulationError("stage amount must be non-negative")
         self.remaining = float(self.amount)
+        self.finish_threshold = 1e-9 * max(1.0, self.amount)
+
+    def scale(self, factor: float) -> None:
+        """Multiply the stage's work amount by ``factor`` (before execution starts)."""
+        self.amount *= factor
+        self.remaining = self.amount
+        self.finish_threshold = 1e-9 * max(1.0, self.amount)
 
     @property
     def is_finished(self) -> bool:
@@ -87,7 +96,7 @@ class WorkStage:
         the fluid engine (fractions of a byte on a multi-hundred-megabyte
         stage) never keeps a stage alive forever.
         """
-        return self.remaining <= 1e-9 * max(1.0, self.amount)
+        return self.remaining <= self.finish_threshold
 
 
 @dataclass
@@ -134,12 +143,24 @@ class TaskAttempt:
             raise SimulationError(f"task {self.task_id} already has stages")
         self.stages = stages
 
+    def first_unfinished_index(self) -> int | None:
+        """Index of the first unfinished stage, or ``None`` when all are done.
+
+        The execution engine caches this index per running attempt and only
+        advances it on stage completion, so the linear scan here stays off the
+        simulation hot path.
+        """
+        for index, stage in enumerate(self.stages):
+            if not stage.is_finished:
+                return index
+        return None
+
     def current_stage(self) -> WorkStage | None:
         """The first unfinished stage, or ``None`` when the attempt is done."""
-        for stage in self.stages:
-            if not stage.is_finished:
-                return stage
-        return None
+        index = self.first_unfinished_index()
+        if index is None:
+            return None
+        return self.stages[index]
 
     @property
     def is_complete(self) -> bool:

@@ -53,6 +53,10 @@ class OverlapFactors:
                 )
             if np.any(matrix < -1e-12) or np.any(matrix > 1.0 + 1e-9):
                 raise ConfigurationError(f"{name} factors must lie in [0, 1]")
+        # Per-instance memo for :meth:`combined` (frozen dataclass, hence
+        # object.__setattr__); solvers call it once per fixed-point solve and
+        # the matrices are treated as read-only.
+        object.__setattr__(self, "_combined_cache", {})
 
     @classmethod
     def uniform(cls, class_names: tuple[str, ...] | list[str], value: float = 1.0) -> "OverlapFactors":
@@ -77,13 +81,29 @@ class OverlapFactors:
 
         which keeps the factor in ``[0, 1]`` and reduces to ``alpha`` for
         ``J = 1``.
+
+        The result is memoized per instance (callers must not mutate it):
+        solver loops re-solve the same factors for a fixed ``jobs_in_system``.
         """
         if jobs_in_system <= 0:
             raise ConfigurationError("jobs_in_system must be positive")
+        cache: dict[int, np.ndarray] = self._combined_cache  # type: ignore[attr-defined]
+        cached = cache.get(jobs_in_system)
+        if cached is not None:
+            return cached
         if jobs_in_system == 1:
-            return self.intra_job.copy()
-        weight = (self.intra_job + (jobs_in_system - 1) * self.inter_job) / jobs_in_system
-        return np.clip(weight, 0.0, 1.0)
+            weight = self.intra_job.copy()
+        else:
+            weight = np.clip(
+                (self.intra_job + (jobs_in_system - 1) * self.inter_job) / jobs_in_system,
+                0.0,
+                1.0,
+            )
+        # The cached array is shared between callers: make accidental in-place
+        # mutation an immediate error instead of silent cache corruption.
+        weight.setflags(write=False)
+        cache[jobs_in_system] = weight
+        return weight
 
 
 def solve_mva_with_overlaps(
@@ -132,30 +152,27 @@ def solve_mva_with_overlaps(
         if count:
             queue[c, positive] = population[c] / count
 
+    # Vectorised Schweitzer step: the arrival queue seen by class ``c`` at
+    # center ``k`` is ``sum_j w[c,j] * q[j,k]`` with the usual (N-1)/N
+    # self-correction on the diagonal term, i.e. a single ``weights @ queue``
+    # product minus a rank-1 diagonal adjustment (mirrors the vectorised
+    # plain-Schweitzer solver in :mod:`repro.queueing.mva_approximate`).
+    own_correction = np.where(active, (population - 1.0) / np.maximum(population, 1.0), 0.0)
+    diagonal_weights = np.diagonal(weights)
+    self_adjustment = (diagonal_weights * (1.0 - own_correction))[:, None]
+    active_column = active[:, None]
+
     residence = np.zeros_like(demands)
     throughput = np.zeros(num_classes)
     for iteration in range(1, max_iterations + 1):
-        residence = np.zeros_like(demands)
-        for c in range(num_classes):
-            if not active[c]:
-                continue
-            own_correction = (
-                (population[c] - 1.0) / population[c] if population[c] > 0 else 0.0
-            )
-            for k in range(num_centers):
-                if not queueing[k]:
-                    residence[c, k] = demands[c, k]
-                    continue
-                seen = 0.0
-                for j in range(num_classes):
-                    if j == c:
-                        seen += weights[c, j] * own_correction * queue[j, k]
-                    else:
-                        seen += weights[c, j] * queue[j, k]
-                # Multi-server correction: only the customers in excess of the
-                # free servers cause waiting (M/M/c-style approximation).
-                excess = max(0.0, seen - (servers[k] - 1.0))
-                residence[c, k] = demands[c, k] * (1.0 + excess / servers[k])
+        seen = weights @ queue - self_adjustment * queue
+        # Multi-server correction: only the customers in excess of the
+        # free servers cause waiting (M/M/c-style approximation).
+        excess = np.maximum(0.0, seen - (servers - 1.0))
+        residence = np.where(
+            queueing, demands * (1.0 + excess / servers), demands
+        )
+        residence = np.where(active_column, residence, 0.0)
         totals = think + residence.sum(axis=1)
         throughput = np.divide(
             population,

@@ -229,6 +229,58 @@ class TestOverlapMVA:
         four = solve_mva_with_overlaps(network, factors, jobs_in_system=4)
         assert four.response_time("map") >= one.response_time("map")
 
+    @given(
+        intra=st.floats(min_value=0.0, max_value=1.0),
+        inter=st.floats(min_value=0.0, max_value=1.0),
+        jobs=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_vectorised_fixed_point_matches_reference_loop(self, intra, inter, jobs):
+        """The ``weights @ queue`` step must equal the per-element reference.
+
+        Re-implements one overlap-weighted Schweitzer residence update with
+        explicit Python loops (the pre-vectorisation engine) and compares it
+        against the converged solver state, which must be a fixed point of
+        that reference step.
+        """
+        network = two_class_network()
+        factors = OverlapFactors(
+            class_names=tuple(network.class_names),
+            intra_job=np.full((2, 2), intra),
+            inter_job=np.full((2, 2), inter),
+        )
+        solution = solve_mva_with_overlaps(network, factors, jobs_in_system=jobs)
+        demands = network.demand_matrix()
+        queueing = network.queueing_mask()
+        servers = network.server_vector()
+        population = network.population_vector().astype(float)
+        think = network.think_time_vector()
+        weights = factors.combined(jobs)
+        queue = np.asarray(solution.queue_lengths)
+        num_classes, num_centers = demands.shape
+
+        residence = np.zeros_like(demands)
+        for c in range(num_classes):
+            if population[c] <= 0:
+                continue
+            own_correction = (population[c] - 1.0) / population[c]
+            for k in range(num_centers):
+                if not queueing[k]:
+                    residence[c, k] = demands[c, k]
+                    continue
+                seen = 0.0
+                for j in range(num_classes):
+                    correction = own_correction if j == c else 1.0
+                    seen += weights[c, j] * correction * queue[j, k]
+                excess = max(0.0, seen - (servers[k] - 1.0))
+                residence[c, k] = demands[c, k] * (1.0 + excess / servers[k])
+        totals = think + residence.sum(axis=1)
+        throughput = np.where(totals > 0, population / np.where(totals > 0, totals, 1.0), 0.0)
+        reference_queue = residence * throughput[:, None]
+
+        assert np.allclose(residence, solution.residence_times, atol=1e-6)
+        assert np.allclose(reference_queue, queue, atol=1e-6)
+
 
 class TestOverlapFactors:
     def test_uniform(self):
