@@ -18,7 +18,6 @@ from repro.core import (
     EstimatorKind,
     Hadoop2PerformanceModel,
     ModifiedMVASolver,
-    TaskClass,
 )
 from repro.core.initialization import initialize_from_herodotou
 from repro.units import gigabytes, megabytes

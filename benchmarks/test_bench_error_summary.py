@@ -54,7 +54,7 @@ def test_bench_error_summary(benchmark):
     vianna = summarize_errors(vianna_errors)
     print()
     print("=== Error summary over the single-job experiments (Figures 10 and 12) ===")
-    print(f"paper:   fork/join 11-13.5 %   Tripathi 19-23 %   Vianna (Hadoop 1.x) ~15 %")
+    print("paper:   fork/join 11-13.5 %   Tripathi 19-23 %   Vianna (Hadoop 1.x) ~15 %")
     for name, summary in (("fork/join", forkjoin), ("tripathi", tripathi), ("vianna", vianna)):
         print(
             f"{name:9s}: mean |error| {100 * summary.mean_absolute:5.1f} %  "

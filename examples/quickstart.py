@@ -17,7 +17,7 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import relative_error
-from repro.core import EstimatorKind, Hadoop2PerformanceModel
+from repro.core import Hadoop2PerformanceModel
 from repro.hadoop import ClusterSimulator
 from repro.units import gigabytes, megabytes
 from repro.workloads import (

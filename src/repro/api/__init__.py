@@ -1,0 +1,55 @@
+"""Unified prediction-backend API.
+
+This package is the single well-typed interface over the repo's heterogeneous
+prediction engines:
+
+* :class:`Scenario` / :class:`ScenarioSuite` — frozen, JSON-round-trippable
+  specifications of *what* to predict (cluster + workload + scheduler + seed);
+* :class:`PredictionBackend` + :func:`register_backend` — the string-keyed
+  registry of *how* to predict (analytic MVA, static ARIA / Herodotou /
+  Vianna baselines, the YARN simulator);
+* :class:`PredictionResult` — the uniform answer shape (total seconds,
+  per-phase breakdown, metadata);
+* :class:`PredictionService` — batch evaluation of suites across backends
+  with keyed result caching and thread-pool parallelism.
+
+Quick example::
+
+    from repro.api import PredictionService, Scenario
+
+    service = PredictionService()
+    scenario = Scenario(workload="wordcount", num_nodes=4, input_size_bytes=10**9)
+    result = service.evaluate(scenario, "mva-forkjoin")
+    print(result.summary())
+"""
+
+from .backends import (
+    PredictionBackend,
+    backend_names,
+    create_backend,
+    register_backend,
+)
+from .results import BackendComparison, PredictionResult
+from .scenario import (
+    WORKLOAD_PROFILES,
+    Scenario,
+    ScenarioSuite,
+    register_workload_profile,
+)
+from .service import DEFAULT_BASELINE, PredictionService, SuiteResult
+
+__all__ = [
+    "BackendComparison",
+    "DEFAULT_BASELINE",
+    "PredictionBackend",
+    "PredictionResult",
+    "PredictionService",
+    "Scenario",
+    "ScenarioSuite",
+    "SuiteResult",
+    "WORKLOAD_PROFILES",
+    "backend_names",
+    "create_backend",
+    "register_backend",
+    "register_workload_profile",
+]

@@ -1,0 +1,311 @@
+"""Prediction backends: one uniform ``predict(scenario)`` over every engine.
+
+The registry maps short string keys to backend classes:
+
+* ``mva-forkjoin`` / ``mva-tripathi`` — the paper's analytic Hadoop 2.x model
+  (:class:`~repro.core.model.Hadoop2PerformanceModel`) with either estimator;
+* ``aria`` — ARIA makespan bounds from a job profile derived from the same
+  uncontended service demands the analytic model uses;
+* ``herodotou`` — the Herodotou phase model on dataflow/cost statistics;
+* ``vianna`` — the slot-based Hadoop 1.x baseline model;
+* ``simulator`` — the discrete-event YARN simulator (median of the mean job
+  response time over ``scenario.repetitions`` seeded runs — the "measured"
+  value of the evaluation figures).
+
+Backends are stateless: every :meth:`PredictionBackend.predict` call builds
+its engine from the scenario alone, so instances can be shared across threads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import ClassVar, Protocol, runtime_checkable
+
+from ..core.estimators import EstimatorKind
+from ..core.model import Hadoop2PerformanceModel
+from ..core.parameters import TaskClass
+from ..exceptions import BackendError
+from ..hadoop.simulator import ClusterSimulator
+from ..static_models.aria import AriaJobProfile, AriaModel
+from ..static_models.herodotou import HerodotouJobModel
+from ..static_models.vianna import ViannaHadoop1Model
+from .results import PredictionResult
+from .scenario import Scenario
+
+#: Sigmas of task-duration spread assumed when deriving ARIA's max durations.
+_ARIA_SPREAD_SIGMAS = 2.0
+
+
+@runtime_checkable
+class PredictionBackend(Protocol):
+    """A named engine that turns a :class:`Scenario` into a :class:`PredictionResult`."""
+
+    name: ClassVar[str]
+
+    def predict(self, scenario: Scenario) -> PredictionResult:
+        """Evaluate one scenario."""
+        ...
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_backend(name: str):
+    """Class decorator registering a backend under a string key."""
+
+    def decorator(cls):
+        if name in _REGISTRY:
+            raise BackendError(f"backend {name!r} is already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def backend_names() -> list[str]:
+    """Sorted names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+def create_backend(name: str, **options) -> PredictionBackend:
+    """Instantiate a backend by name (``options`` go to its constructor)."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError as exc:
+        raise BackendError(
+            f"unknown backend {name!r}; registered: {backend_names()}"
+        ) from exc
+    return cls(**options)
+
+
+def _fair_share(total: int, num_jobs: int) -> int:
+    """Per-job share of ``total`` slots when ``num_jobs`` run concurrently."""
+    return max(1, total // num_jobs)
+
+
+class _MvaBackend:
+    """Shared implementation of the two analytic-model backends."""
+
+    name: ClassVar[str]
+    kind: ClassVar[EstimatorKind]
+
+    def predict(self, scenario: Scenario) -> PredictionResult:
+        model = Hadoop2PerformanceModel(scenario.model_input())
+        prediction = model.predict(self.kind)
+        return PredictionResult(
+            backend=self.name,
+            scenario=scenario,
+            total_seconds=prediction.job_response_time,
+            phases={
+                task_class.value: seconds
+                for task_class, seconds in prediction.class_response_times.items()
+            },
+            metadata={
+                "estimator": prediction.estimator.value,
+                "iterations": prediction.iterations,
+                "converged": prediction.converged,
+                "tree_depth": prediction.tree_depth,
+                "num_leaves": prediction.num_leaves,
+                "timeline_makespan": prediction.timeline_makespan,
+            },
+        )
+
+
+@register_backend("mva-forkjoin")
+class MvaForkJoinBackend(_MvaBackend):
+    """Analytic Hadoop 2.x model with the fork/join estimator."""
+
+    kind = EstimatorKind.FORK_JOIN
+
+
+@register_backend("mva-tripathi")
+class MvaTripathiBackend(_MvaBackend):
+    """Analytic Hadoop 2.x model with the Tripathi-based estimator."""
+
+    kind = EstimatorKind.TRIPATHI
+
+
+@register_backend("aria")
+class AriaBackend:
+    """ARIA makespan bounds on a profile derived from the scenario's demands.
+
+    Stage averages are the uncontended per-task service demands the analytic
+    model uses; maxima assume a ``_ARIA_SPREAD_SIGMAS``-sigma spread at the
+    scenario's task-duration CV.  Concurrent jobs get a fair share of the
+    cluster's container slots.
+    """
+
+    name: ClassVar[str]
+
+    def predict(self, scenario: Scenario) -> PredictionResult:
+        model_input = scenario.model_input()
+        spread = 1.0 + _ARIA_SPREAD_SIGMAS * scenario.duration_cv
+
+        def demand_seconds(task_class: TaskClass) -> float:
+            demands = model_input.demands[task_class]
+            return demands.cpu_seconds + demands.disk_seconds + demands.network_seconds
+
+        avg_map = demand_seconds(TaskClass.MAP)
+        avg_shuffle = demand_seconds(TaskClass.SHUFFLE_SORT)
+        avg_reduce = demand_seconds(TaskClass.MERGE)
+        profile = AriaJobProfile(
+            num_maps=model_input.num_maps,
+            num_reduces=model_input.num_reduces,
+            avg_map_seconds=avg_map,
+            max_map_seconds=avg_map * spread,
+            avg_shuffle_seconds=avg_shuffle,
+            max_shuffle_seconds=avg_shuffle * spread,
+            avg_reduce_seconds=avg_reduce,
+            max_reduce_seconds=avg_reduce * spread,
+        )
+        cluster = scenario.cluster_config()
+        map_slots = _fair_share(cluster.total_map_capacity(), scenario.num_jobs)
+        reduce_slots = _fair_share(cluster.total_reduce_capacity(), scenario.num_jobs)
+        model = AriaModel(profile)
+        bounds = model.job_bounds(map_slots, reduce_slots)
+        return PredictionResult(
+            backend=self.name,
+            scenario=scenario,
+            total_seconds=bounds.average_seconds,
+            phases={
+                "map": model.map_stage_bounds(map_slots).average_seconds,
+                "shuffle-sort": model.shuffle_stage_bounds(reduce_slots).average_seconds,
+                "merge": model.reduce_stage_bounds(reduce_slots).average_seconds,
+            },
+            metadata={
+                "lower_seconds": bounds.lower_seconds,
+                "upper_seconds": bounds.upper_seconds,
+                "map_slots": map_slots,
+                "reduce_slots": reduce_slots,
+            },
+        )
+
+
+@register_backend("herodotou")
+class HerodotouBackend:
+    """Herodotou static phase model (waves over fair-share slots)."""
+
+    name: ClassVar[str]
+
+    def predict(self, scenario: Scenario) -> PredictionResult:
+        profile = scenario.profile()
+        cluster = scenario.cluster_config()
+        environment = profile.herodotou_environment(cluster)
+        if scenario.num_jobs > 1:
+            environment = dataclasses.replace(
+                environment,
+                map_slots_per_node=_fair_share(
+                    environment.map_slots_per_node, scenario.num_jobs
+                ),
+                reduce_slots_per_node=_fair_share(
+                    environment.reduce_slots_per_node, scenario.num_jobs
+                ),
+            )
+        dataflow = profile.herodotou_dataflow(scenario.job_configs()[0])
+        estimate = HerodotouJobModel(environment).estimate(dataflow)
+        return PredictionResult(
+            backend=self.name,
+            scenario=scenario,
+            total_seconds=estimate.total_seconds,
+            phases={
+                "map": estimate.map_stage_seconds,
+                "shuffle-sort": 0.0,
+                "merge": estimate.reduce_stage_seconds,
+            },
+            metadata={
+                "map_waves": estimate.map_waves,
+                "reduce_waves": estimate.reduce_waves,
+                "map_task_seconds": estimate.map_phases.total,
+                "reduce_task_seconds": estimate.reduce_phases.total,
+            },
+        )
+
+
+@register_backend("vianna")
+class ViannaBackend:
+    """Vianna et al.'s slot-based Hadoop 1.x baseline model."""
+
+    name: ClassVar[str]
+
+    def __init__(self, map_slots_per_node: int = 2, reduce_slots_per_node: int = 2) -> None:
+        self.map_slots_per_node = map_slots_per_node
+        self.reduce_slots_per_node = reduce_slots_per_node
+
+    def predict(self, scenario: Scenario) -> PredictionResult:
+        model = ViannaHadoop1Model(
+            scenario.model_input(),
+            map_slots_per_node=self.map_slots_per_node,
+            reduce_slots_per_node=self.reduce_slots_per_node,
+        )
+        prediction = model.predict()
+        return PredictionResult(
+            backend=self.name,
+            scenario=scenario,
+            total_seconds=prediction.job_response_time,
+            phases={
+                task_class.value: seconds
+                for task_class, seconds in prediction.class_response_times.items()
+            },
+            metadata={
+                "iterations": prediction.iterations,
+                "converged": prediction.converged,
+                "map_slots_per_node": self.map_slots_per_node,
+                "reduce_slots_per_node": self.reduce_slots_per_node,
+            },
+        )
+
+
+@register_backend("simulator")
+class SimulatorBackend:
+    """Discrete-event YARN simulator — the evaluation's "measured" series.
+
+    Runs ``scenario.repetitions`` simulations with seeds ``seed + i`` and
+    reports the median of the per-run mean job response times, exactly as the
+    experiment runner has always derived the measurement.
+    """
+
+    name: ClassVar[str]
+
+    def predict(self, scenario: Scenario) -> PredictionResult:
+        workload = scenario.workload_spec()
+        cluster = scenario.cluster_config()
+        scheduler = scenario.scheduler_config()
+        simulator_profile = workload.profile.simulator_profile()
+        means: list[float] = []
+        first_result = None
+        for repetition in range(scenario.repetitions):
+            simulator = ClusterSimulator(
+                cluster, scheduler, seed=scenario.seed + repetition
+            )
+            for job_config in workload.job_configs():
+                simulator.submit_job(job_config, simulator_profile)
+            result = simulator.run()
+            if first_result is None:
+                first_result = result
+            means.append(result.mean_response_time)
+        traces = first_result.job_traces
+        return PredictionResult(
+            backend=self.name,
+            scenario=scenario,
+            total_seconds=statistics.median(means),
+            phases={
+                "map": _mean(trace.average_map_duration() for trace in traces),
+                "shuffle-sort": _mean(
+                    trace.average_shuffle_sort_duration() for trace in traces
+                ),
+                "merge": _mean(trace.average_merge_duration() for trace in traces),
+            },
+            metadata={
+                "repetitions": scenario.repetitions,
+                "repetition_means": tuple(means),
+                "makespan": first_result.makespan,
+                "data_local_fraction": first_result.metrics.data_local_fraction,
+            },
+        )
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

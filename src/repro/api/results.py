@@ -1,0 +1,81 @@
+"""Uniform prediction results returned by every backend.
+
+Each backend — analytic, static, or simulated — answers a scenario with the
+same :class:`PredictionResult` shape: the total job response-time estimate in
+seconds, a per-phase breakdown (phase name → seconds), and a free-form
+metadata dictionary with backend-specific diagnostics (iteration counts,
+bounds, per-repetition means, ...).  The shared shape is what makes
+side-by-side comparison and caching possible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any
+
+from ..analysis.errors import relative_error
+from .scenario import Scenario
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """Outcome of evaluating one scenario with one backend."""
+
+    backend: str
+    scenario: Scenario
+    total_seconds: float
+    #: Per-phase breakdown, e.g. ``{"map": 41.2, "shuffle-sort": 12.9, ...}``.
+    phases: Mapping[str, float] = field(default_factory=dict)
+    #: Backend-specific diagnostics (iterations, bounds, repetition means, ...).
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Results are shared through the service cache: freeze the mappings so
+        # a caller's mutation cannot poison later cache hits.
+        object.__setattr__(self, "phases", MappingProxyType(dict(self.phases)))
+        object.__setattr__(self, "metadata", MappingProxyType(dict(self.metadata)))
+
+    def relative_error_to(self, baseline: "PredictionResult") -> float:
+        """Signed relative error of this estimate against ``baseline``."""
+        return relative_error(self.total_seconds, baseline.total_seconds)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view (used by the CLI's machine-readable output)."""
+        return {
+            "backend": self.backend,
+            "scenario": self.scenario.to_dict(),
+            "total_seconds": self.total_seconds,
+            "phases": dict(self.phases),
+            "metadata": dict(self.metadata),
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        phases = ", ".join(
+            f"{name}={seconds:.2f}s" for name, seconds in self.phases.items()
+        )
+        return f"[{self.backend}] total={self.total_seconds:.2f}s ({phases})"
+
+
+@dataclass(frozen=True)
+class BackendComparison:
+    """All backends' answers to one scenario, with errors against a baseline."""
+
+    scenario: Scenario
+    baseline: str
+    results: dict[str, PredictionResult]
+
+    def baseline_result(self) -> PredictionResult:
+        """The baseline backend's result."""
+        return self.results[self.baseline]
+
+    def relative_errors(self) -> dict[str, float]:
+        """Signed relative errors of every non-baseline backend vs. the baseline."""
+        reference = self.baseline_result()
+        return {
+            name: result.relative_error_to(reference)
+            for name, result in self.results.items()
+            if name != self.baseline
+        }

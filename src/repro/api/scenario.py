@@ -1,0 +1,384 @@
+"""Scenario specifications: the single input type of every prediction backend.
+
+A :class:`Scenario` freezes everything a backend needs to produce a job
+response-time estimate — the cluster (explicit :class:`~repro.config.ClusterConfig`
+or the paper's testbed scaled to ``num_nodes``), the workload (a registered
+application profile plus sizing), the scheduler, and the randomness contract
+(``seed`` + ``repetitions`` for stochastic backends).  Scenarios serialise to
+plain JSON dictionaries (:meth:`Scenario.to_dict` / :meth:`Scenario.from_dict`)
+so suites can be stored in files, shipped over the wire, and used as cache
+keys.
+
+A :class:`ScenarioSuite` is an ordered collection of scenarios, either listed
+explicitly or expanded from a base scenario plus a sweep grid over
+``num_nodes`` / ``num_jobs`` / ``input_size_bytes`` — the three axes of the
+paper's evaluation figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections.abc import Callable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from ..config import ClusterConfig, ContainerSpec, JobConfig, NodeSpec, SchedulerConfig
+from ..core.parameters import ModelInput
+from ..exceptions import ValidationError
+from ..units import GiB, MiB, parse_size
+from ..workloads.generators import WorkloadSpec, paper_cluster, paper_scheduler
+from ..workloads.grep import grep_profile
+from ..workloads.profiles import ApplicationProfile, model_input_from_profile
+from ..workloads.terasort import terasort_profile
+from ..workloads.wordcount import wordcount_profile
+
+#: Registered application-profile factories, keyed by workload name.
+WORKLOAD_PROFILES: dict[str, Callable[[float], ApplicationProfile]] = {
+    "wordcount": wordcount_profile,
+    "terasort": terasort_profile,
+    "grep": grep_profile,
+}
+
+#: Sweep axes accepted by :meth:`ScenarioSuite.from_sweep` and suite JSON.
+_SWEEP_AXES = ("num_nodes", "num_jobs", "input_size_bytes")
+
+
+def register_workload_profile(
+    name: str, factory: Callable[[float], ApplicationProfile]
+) -> None:
+    """Register a new workload profile factory (``factory(duration_cv)``).
+
+    Re-registering an existing name is rejected: scenarios (and the service's
+    result cache) identify workloads by name, so swapping the factory under a
+    live name would silently invalidate cached predictions.
+    """
+    if not name:
+        raise ValidationError("workload name must be non-empty")
+    if name in WORKLOAD_PROFILES:
+        raise ValidationError(f"workload {name!r} is already registered")
+    WORKLOAD_PROFILES[name] = factory
+
+
+# -- nested config (de)serialisation ------------------------------------------
+
+
+def _node_to_dict(node: NodeSpec) -> dict:
+    return dataclasses.asdict(node)
+
+
+def _cluster_to_dict(cluster: ClusterConfig) -> dict:
+    return {
+        "num_nodes": cluster.num_nodes,
+        "node": _node_to_dict(cluster.node),
+        "map_container": dataclasses.asdict(cluster.map_container),
+        "reduce_container": dataclasses.asdict(cluster.reduce_container),
+        "yarn_memory_fraction": cluster.yarn_memory_fraction,
+        "yarn_vcore_fraction": cluster.yarn_vcore_fraction,
+        "max_maps_per_node": cluster.max_maps_per_node,
+        "max_reduces_per_node": cluster.max_reduces_per_node,
+        "num_racks": cluster.num_racks,
+    }
+
+
+def _cluster_from_dict(data: Mapping) -> ClusterConfig:
+    payload = dict(data)
+    try:
+        if "node" in payload:
+            payload["node"] = NodeSpec(**payload["node"])
+        for key in ("map_container", "reduce_container"):
+            if key in payload:
+                payload[key] = ContainerSpec(**payload[key])
+        return ClusterConfig(**payload)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"invalid cluster specification: {exc}") from exc
+
+
+def _scheduler_from_dict(data: Mapping) -> SchedulerConfig:
+    try:
+        return SchedulerConfig(**dict(data))
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"invalid scheduler specification: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified prediction scenario (cluster + workload + scheduler + seed)."""
+
+    workload: str = "wordcount"
+    input_size_bytes: int = 1 * GiB
+    block_size_bytes: int = 128 * MiB
+    num_nodes: int = 4
+    num_jobs: int = 1
+    num_reduces: int = 4
+    duration_cv: float = 0.3
+    submission_gap_seconds: float = 0.0
+    #: Base seed of stochastic backends (the simulator uses seed + repetition).
+    seed: int = 1234
+    #: Number of simulator repetitions the measured value is the median of.
+    repetitions: int = 3
+    #: Explicit cluster; ``None`` means the paper testbed with ``num_nodes`` nodes.
+    cluster: ClusterConfig | None = None
+    #: Explicit scheduler; ``None`` means the paper's Capacity configuration.
+    scheduler: SchedulerConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOAD_PROFILES:
+            raise ValidationError(
+                f"unknown workload {self.workload!r}; "
+                f"registered: {sorted(WORKLOAD_PROFILES)}"
+            )
+        if self.input_size_bytes <= 0:
+            raise ValidationError("input_size_bytes must be positive")
+        if self.block_size_bytes <= 0:
+            raise ValidationError("block_size_bytes must be positive")
+        if self.num_nodes <= 0:
+            raise ValidationError("num_nodes must be positive")
+        if self.num_jobs <= 0:
+            raise ValidationError("num_jobs must be positive")
+        if self.num_reduces <= 0:
+            raise ValidationError("num_reduces must be positive")
+        if self.duration_cv < 0:
+            raise ValidationError("duration_cv must be non-negative")
+        if self.submission_gap_seconds < 0:
+            raise ValidationError("submission_gap_seconds must be non-negative")
+        if self.repetitions <= 0:
+            raise ValidationError("repetitions must be positive")
+        if self.cluster is not None and self.cluster.num_nodes != self.num_nodes:
+            raise ValidationError(
+                "explicit cluster has "
+                f"{self.cluster.num_nodes} nodes but the scenario says {self.num_nodes}"
+            )
+
+    # -- resolved views -------------------------------------------------------
+
+    def profile(self) -> ApplicationProfile:
+        """The application profile of this scenario's workload."""
+        return WORKLOAD_PROFILES[self.workload](self.duration_cv)
+
+    def cluster_config(self) -> ClusterConfig:
+        """Explicit cluster, or the paper testbed scaled to ``num_nodes``."""
+        if self.cluster is not None:
+            return self.cluster
+        return paper_cluster(self.num_nodes)
+
+    def scheduler_config(self) -> SchedulerConfig:
+        """Explicit scheduler, or the paper's Capacity-scheduler configuration."""
+        if self.scheduler is not None:
+            return self.scheduler
+        return paper_scheduler()
+
+    def workload_spec(self) -> WorkloadSpec:
+        """The multi-job workload specification of this scenario."""
+        return WorkloadSpec(
+            profile=self.profile(),
+            input_size_bytes=self.input_size_bytes,
+            block_size_bytes=self.block_size_bytes,
+            num_reduces=self.num_reduces,
+            num_jobs=self.num_jobs,
+            submission_gap_seconds=self.submission_gap_seconds,
+        )
+
+    def job_configs(self) -> list[JobConfig]:
+        """One :class:`~repro.config.JobConfig` per concurrent job."""
+        return self.workload_spec().job_configs()
+
+    def model_input(self) -> ModelInput:
+        """Analytic-model input built exactly as the experiment runner does."""
+        return model_input_from_profile(
+            self.profile(),
+            self.cluster_config(),
+            self.job_configs()[0],
+            num_jobs=self.num_jobs,
+            slow_start=self.scheduler_config().slowstart_enabled,
+        )
+
+    def with_updates(self, **changes) -> "Scenario":
+        """Copy of the scenario with ``changes`` applied (convenience for sweeps)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- (de)serialisation ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable dictionary; inverse of :meth:`from_dict`."""
+        data = {
+            "workload": self.workload,
+            "input_size_bytes": self.input_size_bytes,
+            "block_size_bytes": self.block_size_bytes,
+            "num_nodes": self.num_nodes,
+            "num_jobs": self.num_jobs,
+            "num_reduces": self.num_reduces,
+            "duration_cv": self.duration_cv,
+            "submission_gap_seconds": self.submission_gap_seconds,
+            "seed": self.seed,
+            "repetitions": self.repetitions,
+        }
+        if self.cluster is not None:
+            data["cluster"] = _cluster_to_dict(self.cluster)
+        if self.scheduler is not None:
+            data["scheduler"] = dataclasses.asdict(self.scheduler)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Scenario":
+        """Build a scenario from a dictionary (sizes may be strings like ``"5GB"``)."""
+        if not isinstance(data, Mapping):
+            raise ValidationError(f"scenario must be a mapping, got {type(data).__name__}")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown scenario fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        payload = dict(data)
+        for key in ("input_size_bytes", "block_size_bytes"):
+            if key in payload:
+                payload[key] = parse_size(payload[key])
+        if payload.get("cluster") is not None:
+            payload["cluster"] = _cluster_from_dict(payload["cluster"])
+        if payload.get("scheduler") is not None:
+            payload["scheduler"] = _scheduler_from_dict(payload["scheduler"])
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ValidationError(f"invalid scenario: {exc}") from exc
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Parse a scenario from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"invalid scenario JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def cache_key(self) -> str:
+        """Stable key identifying this scenario (used by the prediction cache)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def describe(self) -> str:
+        """Short human-readable label for tables and logs."""
+        gib = self.input_size_bytes / GiB
+        return (
+            f"{self.workload} {gib:g}GiB x{self.num_jobs} "
+            f"on {self.num_nodes} nodes (r={self.num_reduces})"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSuite:
+    """An ordered, named collection of scenarios (one sweep or benchmark)."""
+
+    name: str
+    scenarios: tuple[Scenario, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("suite name must be non-empty")
+        if not self.scenarios:
+            raise ValidationError("suite must contain at least one scenario")
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios)
+
+    @classmethod
+    def from_sweep(
+        cls,
+        name: str,
+        base: Scenario,
+        *,
+        num_nodes: Sequence[int] | None = None,
+        num_jobs: Sequence[int] | None = None,
+        input_size_bytes: Sequence[int | str] | None = None,
+        description: str = "",
+    ) -> "ScenarioSuite":
+        """Cross product of the given axes applied on top of ``base``.
+
+        Axis order is nodes (outer) → jobs → input size (inner), so a sweep
+        over one axis preserves the order in which values were given.
+        """
+        node_values = list(num_nodes) if num_nodes else [base.num_nodes]
+        job_values = list(num_jobs) if num_jobs else [base.num_jobs]
+        size_values = (
+            [parse_size(value) for value in input_size_bytes]
+            if input_size_bytes
+            else [base.input_size_bytes]
+        )
+        scenarios = [
+            base.with_updates(
+                num_nodes=nodes,
+                num_jobs=jobs,
+                input_size_bytes=size,
+                # An explicit cluster scales with the node axis.
+                cluster=(
+                    base.cluster.with_nodes(nodes) if base.cluster is not None else None
+                ),
+            )
+            for nodes in node_values
+            for jobs in job_values
+            for size in size_values
+        ]
+        return cls(name=name, scenarios=tuple(scenarios), description=description)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable dictionary; inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "scenarios": [scenario.to_dict() for scenario in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSuite":
+        """Build a suite from an explicit list or a base + sweep grid.
+
+        Two shapes are accepted::
+
+            {"name": ..., "scenarios": [{...}, {...}]}
+            {"name": ..., "base": {...}, "sweep": {"num_nodes": [4, 6, 8]}}
+        """
+        if not isinstance(data, Mapping):
+            raise ValidationError(f"suite must be a mapping, got {type(data).__name__}")
+        name = data.get("name")
+        if not name:
+            raise ValidationError("suite requires a non-empty 'name'")
+        description = data.get("description", "")
+        if "scenarios" in data:
+            scenarios = tuple(Scenario.from_dict(entry) for entry in data["scenarios"])
+            return cls(name=name, scenarios=scenarios, description=description)
+        if "base" in data:
+            sweep = data.get("sweep", {})
+            unknown = set(sweep) - set(_SWEEP_AXES)
+            if unknown:
+                raise ValidationError(
+                    f"unknown sweep axes {sorted(unknown)}; known: {list(_SWEEP_AXES)}"
+                )
+            return cls.from_sweep(
+                name,
+                Scenario.from_dict(data["base"]),
+                num_nodes=sweep.get("num_nodes"),
+                num_jobs=sweep.get("num_jobs"),
+                input_size_bytes=sweep.get("input_size_bytes"),
+                description=description,
+            )
+        raise ValidationError("suite requires either 'scenarios' or 'base' (+ 'sweep')")
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSuite":
+        """Parse a suite from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"invalid suite JSON: {exc}") from exc
+        return cls.from_dict(data)

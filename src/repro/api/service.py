@@ -1,0 +1,174 @@
+"""Batch prediction service: suites × backends with caching and parallelism.
+
+:class:`PredictionService` is the one entry point the CLI, the experiment
+runner, and library users share.  It
+
+* resolves backend names through the registry and shares the (stateless)
+  backend instances across calls;
+* memoises every ``(scenario, backend)`` evaluation under the scenario's
+  stable :meth:`~repro.api.scenario.Scenario.cache_key`, so sweeps that
+  revisit a point (and repeated figure runs) pay for it once;
+* fans a :class:`~repro.api.scenario.ScenarioSuite` out over a
+  :class:`concurrent.futures.ThreadPoolExecutor`, one task per
+  (sweep point, backend) pair — results are deterministic because every
+  backend derives its seeds from the scenario alone.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..exceptions import BackendError
+from .backends import PredictionBackend, backend_names, create_backend
+from .results import BackendComparison, PredictionResult
+from .scenario import Scenario, ScenarioSuite
+
+#: Default baseline backend for comparisons (the "measured" series).
+DEFAULT_BASELINE = "simulator"
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """Results of one suite evaluation: a (scenario × backend) grid."""
+
+    suite: ScenarioSuite
+    backends: tuple[str, ...]
+    #: One ``{backend: result}`` mapping per scenario, in suite order.
+    rows: tuple[dict[str, PredictionResult], ...]
+
+    def series(self, backend: str) -> list[float]:
+        """The ``total_seconds`` series of one backend across the suite."""
+        if backend not in self.backends:
+            raise BackendError(
+                f"backend {backend!r} was not evaluated; have: {list(self.backends)}"
+            )
+        return [row[backend].total_seconds for row in self.rows]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view of the whole grid."""
+        return {
+            "suite": self.suite.to_dict(),
+            "backends": list(self.backends),
+            "results": [
+                {name: result.to_dict() for name, result in row.items()}
+                for row in self.rows
+            ],
+        }
+
+
+class PredictionService:
+    """Evaluate scenarios across prediction backends, with caching."""
+
+    def __init__(
+        self,
+        backends: Sequence[str] | None = None,
+        max_workers: int | None = None,
+        cache: bool = True,
+        backend_options: dict[str, dict] | None = None,
+    ) -> None:
+        self._backend_options = dict(backend_options or {})
+        names = list(backends) if backends is not None else backend_names()
+        self._backends: dict[str, PredictionBackend] = {
+            name: create_backend(name, **self._backend_options.get(name, {}))
+            for name in names
+        }
+        self._max_workers = max_workers
+        self._cache_enabled = cache
+        self._cache: dict[tuple[str, str], PredictionResult] = {}
+        self._lock = threading.Lock()
+
+    # -- introspection --------------------------------------------------------
+
+    def backends(self) -> list[str]:
+        """Names of the backends this service evaluates by default."""
+        return list(self._backends)
+
+    def cache_size(self) -> int:
+        """Number of memoised (scenario, backend) evaluations."""
+        with self._lock:
+            return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop all memoised evaluations."""
+        with self._lock:
+            self._cache.clear()
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _backend(self, name: str) -> PredictionBackend:
+        try:
+            return self._backends[name]
+        except KeyError:
+            # Allow one-off evaluation with backends outside the configured
+            # set, honouring any options supplied for them at construction.
+            backend = create_backend(name, **self._backend_options.get(name, {}))
+            self._backends[name] = backend
+            return backend
+
+    def evaluate(self, scenario: Scenario, backend: str) -> PredictionResult:
+        """Evaluate one scenario with one backend (cached)."""
+        key = (scenario.cache_key(), backend)
+        if self._cache_enabled:
+            with self._lock:
+                cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+        result = self._backend(backend).predict(scenario)
+        if self._cache_enabled:
+            with self._lock:
+                self._cache[key] = result
+        return result
+
+    def evaluate_many(
+        self, scenario: Scenario, backends: Sequence[str] | None = None
+    ) -> dict[str, PredictionResult]:
+        """Evaluate one scenario with several backends."""
+        names = list(backends) if backends is not None else self.backends()
+        return {name: self.evaluate(scenario, name) for name in names}
+
+    def evaluate_suite(
+        self,
+        suite: ScenarioSuite,
+        backends: Sequence[str] | None = None,
+    ) -> SuiteResult:
+        """Evaluate every (scenario, backend) pair of a suite in parallel."""
+        names = tuple(backends) if backends is not None else tuple(self.backends())
+        tasks = [
+            (index, name)
+            for index in range(len(suite.scenarios))
+            for name in names
+        ]
+        max_workers = self._max_workers or min(len(tasks), (os.cpu_count() or 2))
+        rows: list[dict[str, PredictionResult]] = [{} for _ in suite.scenarios]
+        with ThreadPoolExecutor(max_workers=max(1, max_workers)) as executor:
+            # Duplicate sweep points share one future: the cache only dedupes
+            # *completed* evaluations, and all tasks are submitted up front.
+            futures = {}
+            for index, name in tasks:
+                key = (suite.scenarios[index].cache_key(), name)
+                if key not in futures:
+                    futures[key] = executor.submit(
+                        self.evaluate, suite.scenarios[index], name
+                    )
+            for index, name in tasks:
+                rows[index][name] = futures[
+                    (suite.scenarios[index].cache_key(), name)
+                ].result()
+        return SuiteResult(suite=suite, backends=names, rows=tuple(rows))
+
+    def compare(
+        self,
+        scenario: Scenario,
+        backends: Sequence[str] | None = None,
+        baseline: str = DEFAULT_BASELINE,
+    ) -> BackendComparison:
+        """Evaluate several backends side by side against a baseline."""
+        names = list(backends) if backends is not None else self.backends()
+        if baseline not in names:
+            names = [baseline, *names]
+        results = self.evaluate_many(scenario, names)
+        return BackendComparison(scenario=scenario, baseline=baseline, results=results)

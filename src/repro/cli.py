@@ -1,52 +1,91 @@
 """Command-line interface.
 
 ``python -m repro`` (or the ``repro-hadoop2`` console script) exposes the
-main entry points of the library:
+main entry points of the library through the unified prediction API:
 
+* ``list``     — list available figures, prediction backends, and workloads;
 * ``figure``   — regenerate one of the paper's evaluation figures;
-* ``predict``  — run the analytic model for a single workload description;
-* ``simulate`` — run the YARN simulator for the same workload;
-* ``list``     — list the available figures.
+* ``predict``  — evaluate one scenario with selected backends;
+* ``compare``  — evaluate all backends side by side with relative errors
+  against a baseline (the simulator by default);
+* ``sweep``    — evaluate a :class:`~repro.api.ScenarioSuite` JSON file
+  across backends;
+* ``simulate`` — run the YARN simulator and print per-job traces.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from .analysis import ascii_series_plot, format_series_table
+from .api import (
+    PredictionService,
+    Scenario,
+    ScenarioSuite,
+    WORKLOAD_PROFILES,
+    backend_names,
+)
 from .core.estimators import EstimatorKind
-from .core.model import Hadoop2PerformanceModel
+from .exceptions import ReproError, ValidationError
 from .experiments.figures import FIGURE_DEFINITIONS, run_figure
 from .hadoop.simulator import ClusterSimulator
 from .units import parse_size
-from .workloads.generators import WorkloadSpec, paper_cluster, paper_scheduler
-from .workloads.profiles import model_input_from_profile
-from .workloads.wordcount import wordcount_profile
+
+#: Backends ``predict`` evaluates when no ``--backend`` is given (both
+#: estimators of the paper's model, mirroring the historical behaviour).
+DEFAULT_PREDICT_BACKENDS = ("mva-forkjoin", "mva-tripathi")
+#: Backends ``sweep`` evaluates when no ``--backend`` is given.
+DEFAULT_SWEEP_BACKENDS = ("simulator", "mva-forkjoin", "mva-tripathi")
 
 
-def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_scenario_arguments(
+    parser: argparse.ArgumentParser, repetitions: bool = True
+) -> None:
+    parser.add_argument(
+        "--workload",
+        default="wordcount",
+        choices=sorted(WORKLOAD_PROFILES),
+        help="application profile",
+    )
     parser.add_argument("--nodes", type=int, default=4, help="number of cluster nodes")
     parser.add_argument("--input-size", default="1GB", help="input data size (e.g. 1GB, 5GB)")
     parser.add_argument("--block-size", default="128MB", help="HDFS block size (e.g. 128MB, 64MB)")
     parser.add_argument("--jobs", type=int, default=1, help="number of concurrent jobs")
     parser.add_argument("--reduces", type=int, default=4, help="reduce tasks per job")
     parser.add_argument("--seed", type=int, default=1234, help="random seed")
+    if repetitions:
+        parser.add_argument(
+            "--repetitions", type=int, default=3, help="simulator repetitions per point"
+        )
 
 
-def _workload_from_args(args: argparse.Namespace) -> WorkloadSpec:
-    return WorkloadSpec.wordcount(
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    return Scenario(
+        workload=args.workload,
         input_size_bytes=parse_size(args.input_size),
-        num_jobs=args.jobs,
         block_size_bytes=parse_size(args.block_size),
+        num_nodes=args.nodes,
+        num_jobs=args.jobs,
         num_reduces=args.reduces,
+        seed=args.seed,
+        repetitions=getattr(args, "repetitions", 1),
     )
 
 
 def _command_list(_: argparse.Namespace) -> int:
+    print("figures:")
     for figure_id, definition in sorted(FIGURE_DEFINITIONS.items()):
-        print(f"{figure_id}: {definition.description}")
+        print(f"  {figure_id}: {definition.description}")
+    print("backends:")
+    for name in backend_names():
+        print(f"  {name}")
+    print("workloads:")
+    for name in sorted(WORKLOAD_PROFILES):
+        print(f"  {name}")
     return 0
 
 
@@ -67,24 +106,61 @@ def _command_figure(args: argparse.Namespace) -> int:
 
 
 def _command_predict(args: argparse.Namespace) -> int:
-    workload = _workload_from_args(args)
-    cluster = paper_cluster(args.nodes)
-    model_input = model_input_from_profile(
-        wordcount_profile(),
-        cluster,
-        workload.job_configs()[0],
-        num_jobs=args.jobs,
-    )
-    model = Hadoop2PerformanceModel(model_input)
-    for kind, result in model.predict_all().items():
+    scenario = _scenario_from_args(args)
+    backends = args.backend or list(DEFAULT_PREDICT_BACKENDS)
+    service = PredictionService(backends=backends)
+    for name in backends:
+        result = service.evaluate(scenario, name)
         print(result.summary())
     return 0
 
 
+def _command_compare(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    backends = args.backend or backend_names()
+    service = PredictionService(backends=backends)
+    comparison = service.compare(scenario, backends, baseline=args.baseline)
+    baseline = comparison.baseline_result()
+    errors = comparison.relative_errors()
+    print(f"scenario: {scenario.describe()}")
+    print(f"{'backend':<14} {'total (s)':>10} {'vs ' + args.baseline:>12}")
+    print(f"{args.baseline:<14} {baseline.total_seconds:>10.2f} {'—':>12}")
+    for name in sorted(errors):
+        total = comparison.results[name].total_seconds
+        print(f"{name:<14} {total:>10.2f} {100 * errors[name]:>+11.1f}%")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    if args.suite == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            text = Path(args.suite).read_text()
+        except OSError as exc:
+            raise ValidationError(f"cannot read suite file {args.suite!r}: {exc}") from exc
+    suite = ScenarioSuite.from_json(text)
+    backends = args.backend or list(DEFAULT_SWEEP_BACKENDS)
+    service = PredictionService(backends=backends, max_workers=args.max_workers)
+    suite_result = service.evaluate_suite(suite, backends)
+    if args.json:
+        print(json.dumps(suite_result.to_dict(), indent=2))
+        return 0
+    print(f"suite: {suite.name} ({len(suite.scenarios)} scenarios)")
+    header = f"{'scenario':<42}" + "".join(f"{name:>14}" for name in backends)
+    print(header)
+    for scenario, row in zip(suite.scenarios, suite_result.rows):
+        cells = "".join(f"{row[name].total_seconds:>14.2f}" for name in backends)
+        print(f"{scenario.describe():<42}{cells}")
+    return 0
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
-    workload = _workload_from_args(args)
-    cluster = paper_cluster(args.nodes)
-    simulator = ClusterSimulator(cluster, paper_scheduler(), seed=args.seed)
+    scenario = _scenario_from_args(args)
+    workload = scenario.workload_spec()
+    simulator = ClusterSimulator(
+        scenario.cluster_config(), scenario.scheduler_config(), seed=scenario.seed
+    )
     for job_config in workload.job_configs():
         simulator.submit_job(job_config, workload.profile.simulator_profile())
     result = simulator.run()
@@ -108,7 +184,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    list_parser = subparsers.add_parser("list", help="list the available figures")
+    list_parser = subparsers.add_parser(
+        "list", help="list available figures, backends, and workloads"
+    )
     list_parser.set_defaults(handler=_command_list)
 
     figure_parser = subparsers.add_parser("figure", help="regenerate one evaluation figure")
@@ -118,12 +196,60 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("--plot", action="store_true", help="print an ASCII plot")
     figure_parser.set_defaults(handler=_command_figure)
 
-    predict_parser = subparsers.add_parser("predict", help="run the analytic model")
-    _add_workload_arguments(predict_parser)
+    predict_parser = subparsers.add_parser(
+        "predict", help="evaluate one scenario with selected backends"
+    )
+    _add_scenario_arguments(predict_parser)
+    predict_parser.add_argument(
+        "--backend",
+        action="append",
+        choices=backend_names(),
+        help="backend to evaluate (repeatable; default: both MVA estimators)",
+    )
     predict_parser.set_defaults(handler=_command_predict)
 
+    compare_parser = subparsers.add_parser(
+        "compare", help="all backends side by side with relative errors"
+    )
+    _add_scenario_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--backend",
+        action="append",
+        choices=backend_names(),
+        help="backend to include (repeatable; default: all registered)",
+    )
+    compare_parser.add_argument(
+        "--baseline",
+        default="simulator",
+        choices=backend_names(),
+        help="baseline backend the errors are measured against",
+    )
+    compare_parser.set_defaults(handler=_command_compare)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="evaluate a scenario-suite JSON file across backends"
+    )
+    sweep_parser.add_argument(
+        "--suite", required=True, help="path to a ScenarioSuite JSON file ('-' for stdin)"
+    )
+    sweep_parser.add_argument(
+        "--backend",
+        action="append",
+        choices=backend_names(),
+        help="backend to evaluate (repeatable; default: simulator + both MVA estimators)",
+    )
+    sweep_parser.add_argument(
+        "--max-workers", type=int, default=None, help="thread-pool size for the sweep"
+    )
+    sweep_parser.add_argument(
+        "--json", action="store_true", help="print the full result grid as JSON"
+    )
+    sweep_parser.set_defaults(handler=_command_sweep)
+
+    # simulate is one seeded raw run (per-job traces), so --repetitions —
+    # which only affects the simulator *backend*'s median-of-N — is omitted.
     simulate_parser = subparsers.add_parser("simulate", help="run the YARN simulator")
-    _add_workload_arguments(simulate_parser)
+    _add_scenario_arguments(simulate_parser, repetitions=False)
     simulate_parser.set_defaults(handler=_command_simulate)
 
     return parser
@@ -133,7 +259,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

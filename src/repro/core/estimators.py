@@ -30,7 +30,7 @@ from ..queueing.distributions import (
     sum_of,
 )
 from ..queueing.forkjoin import forkjoin_response_time
-from .precedence.tree import LeafNode, OperatorKind, OperatorNode, PrecedenceNode
+from .precedence.tree import LeafNode, OperatorKind, PrecedenceNode
 
 
 class EstimatorKind(enum.Enum):

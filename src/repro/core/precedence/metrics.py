@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from ..parameters import TaskClass
-from .tree import LeafNode, OperatorKind, OperatorNode, PrecedenceNode
+from .tree import LeafNode, OperatorKind, PrecedenceNode
 
 
 def tree_depth(node: PrecedenceNode) -> int:

@@ -46,3 +46,7 @@ class TraceError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment definition or run is invalid."""
+
+
+class BackendError(ReproError):
+    """Raised when a prediction backend is unknown or cannot run a scenario."""

@@ -1,16 +1,25 @@
 """Evaluation harness: the experiments of the paper's Section 5.
 
-:mod:`repro.experiments.runner` runs one experiment point (simulate the
-workload, evaluate both model variants, compute errors);
-:mod:`repro.experiments.figures` defines the parameter grids of every figure
-of the paper and knows how to regenerate the corresponding series.
+:mod:`repro.experiments.runner` evaluates experiment points through the
+unified prediction API (simulate the workload, evaluate both model variants,
+compute errors); :mod:`repro.experiments.figures` defines the parameter grids
+of every figure of the paper as :class:`~repro.api.ScenarioSuite` objects and
+knows how to regenerate the corresponding series.
 """
 
-from .runner import ExperimentPoint, ExperimentSeries, run_experiment_point, run_series
+from .runner import (
+    ExperimentPoint,
+    ExperimentSeries,
+    run_experiment_point,
+    run_series,
+    run_suite_series,
+    scenario_for_workload,
+)
 from .figures import (
     FIGURE_DEFINITIONS,
     FigureDefinition,
     figure_definition,
+    figure_suite,
     run_figure,
 )
 
@@ -19,8 +28,11 @@ __all__ = [
     "ExperimentSeries",
     "run_experiment_point",
     "run_series",
+    "run_suite_series",
+    "scenario_for_workload",
     "FIGURE_DEFINITIONS",
     "FigureDefinition",
     "figure_definition",
+    "figure_suite",
     "run_figure",
 ]

@@ -18,10 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api import Scenario, ScenarioSuite
 from ..exceptions import ExperimentError
 from ..units import MiB, gigabytes, megabytes
-from ..workloads.generators import WorkloadSpec
-from .runner import DEFAULT_BASE_SEED, ExperimentSeries, run_series
+from .runner import DEFAULT_BASE_SEED, ExperimentSeries, run_suite_series
 
 #: Default number of reduce tasks per WordCount job in the evaluation grid.
 DEFAULT_REDUCES = 4
@@ -122,6 +122,34 @@ def figure_definition(figure_id: str) -> FigureDefinition:
         ) from exc
 
 
+def figure_suite(
+    figure_id: str,
+    repetitions: int = 3,
+    base_seed: int = DEFAULT_BASE_SEED,
+    duration_cv: float = 0.3,
+    num_reduces: int = DEFAULT_REDUCES,
+) -> ScenarioSuite:
+    """The :class:`~repro.api.ScenarioSuite` behind one evaluation figure."""
+    definition = figure_definition(figure_id)
+    scenarios = tuple(
+        Scenario(
+            workload="wordcount",
+            input_size_bytes=definition.input_size_bytes,
+            block_size_bytes=definition.block_size_bytes,
+            num_nodes=num_nodes,
+            num_jobs=num_jobs,
+            num_reduces=num_reduces,
+            duration_cv=duration_cv,
+            seed=base_seed,
+            repetitions=repetitions,
+        )
+        for num_nodes, num_jobs in definition.grid()
+    )
+    return ScenarioSuite(
+        name=figure_id, scenarios=scenarios, description=definition.description
+    )
+
+
 def run_figure(
     figure_id: str,
     repetitions: int = 3,
@@ -131,24 +159,11 @@ def run_figure(
 ) -> ExperimentSeries:
     """Regenerate the series of one figure of the paper."""
     definition = figure_definition(figure_id)
-    workloads = []
-    node_counts = []
-    for num_nodes, num_jobs in definition.grid():
-        workloads.append(
-            WorkloadSpec.wordcount(
-                input_size_bytes=definition.input_size_bytes,
-                num_jobs=num_jobs,
-                block_size_bytes=definition.block_size_bytes,
-                num_reduces=num_reduces,
-                duration_cv=duration_cv,
-            )
-        )
-        node_counts.append(num_nodes)
-    return run_series(
-        workloads,
-        node_counts,
-        x_label=definition.x_label,
-        x_values=definition.x_values(),
+    suite = figure_suite(
+        figure_id,
         repetitions=repetitions,
         base_seed=base_seed,
+        duration_cv=duration_cv,
+        num_reduces=num_reduces,
     )
+    return run_suite_series(suite, definition.x_label, definition.x_values())

@@ -1,34 +1,51 @@
-"""Run one experiment point: simulate the workload and evaluate the model.
+"""Run experiment points through the unified prediction-backend API.
 
 An *experiment point* fixes the number of nodes, the input size, the block
-size, and the number of concurrent jobs.  For each point we
+size, and the number of concurrent jobs.  Each point is a
+:class:`~repro.api.Scenario` evaluated by the shared
+:class:`~repro.api.PredictionService` with three backends:
 
-1. run the YARN simulator ``repetitions`` times with different seeds (the
-   paper repeats every experiment 5 times) and take the median of the average
-   job response times as the **measured** value;
-2. build the analytic model input for the same workload and evaluate the
-   **fork/join** and **Tripathi** variants;
-3. record the relative errors of both estimates.
+1. ``simulator`` — the YARN simulator run ``repetitions`` times with seeds
+   ``base_seed + i`` (the paper repeats every experiment 5 times); the median
+   of the per-run mean job response times is the **measured** value;
+2. ``mva-forkjoin`` and ``mva-tripathi`` — the analytic model variants built
+   from the same workload;
+
+and we record the relative errors of both estimates.  Series evaluation fans
+the sweep points out over the service's thread pool, and the keyed result
+cache makes repeated figure runs (and overlapping sweeps) free.
 """
 
 from __future__ import annotations
 
-import statistics
 from dataclasses import dataclass, field
 
 from ..analysis.errors import relative_error
+from ..api import WORKLOAD_PROFILES, PredictionService, Scenario, ScenarioSuite
 from ..config import ClusterConfig, SchedulerConfig
 from ..core.estimators import EstimatorKind
-from ..core.model import Hadoop2PerformanceModel
 from ..exceptions import ExperimentError
-from ..hadoop.simulator import ClusterSimulator
-from ..workloads.generators import WorkloadSpec, paper_cluster, paper_scheduler
-from ..workloads.profiles import model_input_from_profile
+from ..workloads.generators import WorkloadSpec
 
 #: Number of simulator repetitions per point (the paper uses 5).
 DEFAULT_REPETITIONS = 3
 #: Base seed from which the per-repetition seeds are derived.
 DEFAULT_BASE_SEED = 1234
+
+#: Backends an experiment point evaluates (measurement + both estimators).
+POINT_BACKENDS = ("simulator", "mva-forkjoin", "mva-tripathi")
+
+
+def _resolve_service(service: PredictionService | None) -> PredictionService:
+    """A caller-provided service, or a fresh one per run.
+
+    Each run defaults to its own service so repeated runs (in particular the
+    pytest-benchmark figure rounds) re-measure real work instead of hitting a
+    process-global cache; within one run the cache still deduplicates
+    overlapping sweep points.  Pass an explicit ``service`` to share the
+    cache across calls.
+    """
+    return service or PredictionService(backends=list(POINT_BACKENDS))
 
 
 @dataclass(frozen=True)
@@ -77,24 +94,79 @@ class ExperimentSeries:
         return [point.tripathi_error for point in self.points]
 
 
+def scenario_for_workload(
+    workload: WorkloadSpec,
+    num_nodes: int,
+    repetitions: int = DEFAULT_REPETITIONS,
+    base_seed: int = DEFAULT_BASE_SEED,
+    cluster: ClusterConfig | None = None,
+    scheduler: SchedulerConfig | None = None,
+) -> Scenario:
+    """Translate a legacy :class:`WorkloadSpec` into an API :class:`Scenario`.
+
+    A scenario identifies its workload by registry name + ``duration_cv``, so
+    the workload's profile must be reconstructible from the registry; a
+    customised profile would otherwise be silently replaced by the canonical
+    one, and is rejected instead.
+    """
+    name = workload.profile.name
+    factory = WORKLOAD_PROFILES.get(name)
+    if factory is None or factory(workload.profile.duration_cv) != workload.profile:
+        raise ExperimentError(
+            f"workload profile {name!r} is not reconstructible from the registry; "
+            "register it with repro.api.register_workload_profile before running "
+            "experiments with it"
+        )
+    if cluster is not None and cluster.num_nodes != num_nodes:
+        cluster = cluster.with_nodes(num_nodes)
+    return Scenario(
+        workload=workload.profile.name,
+        input_size_bytes=workload.input_size_bytes,
+        block_size_bytes=workload.block_size_bytes,
+        num_nodes=num_nodes,
+        num_jobs=workload.num_jobs,
+        num_reduces=workload.num_reduces,
+        duration_cv=workload.profile.duration_cv,
+        submission_gap_seconds=workload.submission_gap_seconds,
+        seed=base_seed,
+        repetitions=repetitions,
+        cluster=cluster,
+        scheduler=scheduler,
+    )
+
+
+def _point_from_results(scenario: Scenario, results) -> ExperimentPoint:
+    return ExperimentPoint(
+        num_nodes=scenario.num_nodes,
+        num_jobs=scenario.num_jobs,
+        input_size_bytes=scenario.input_size_bytes,
+        block_size_bytes=scenario.block_size_bytes,
+        measured_seconds=results["simulator"].total_seconds,
+        forkjoin_seconds=results["mva-forkjoin"].total_seconds,
+        tripathi_seconds=results["mva-tripathi"].total_seconds,
+    )
+
+
 def simulate_measured_response(
     workload: WorkloadSpec,
     cluster: ClusterConfig,
     scheduler: SchedulerConfig,
     repetitions: int = DEFAULT_REPETITIONS,
     base_seed: int = DEFAULT_BASE_SEED,
+    service: PredictionService | None = None,
 ) -> float:
     """Median over repetitions of the mean job response time (the "measurement")."""
     if repetitions <= 0:
         raise ExperimentError("repetitions must be positive")
-    means = []
-    for repetition in range(repetitions):
-        simulator = ClusterSimulator(cluster, scheduler, seed=base_seed + repetition)
-        for job_config in workload.job_configs():
-            simulator.submit_job(job_config, workload.profile.simulator_profile())
-        result = simulator.run()
-        means.append(result.mean_response_time)
-    return statistics.median(means)
+    scenario = scenario_for_workload(
+        workload,
+        cluster.num_nodes,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        cluster=cluster,
+        scheduler=scheduler,
+    )
+    return _resolve_service(service).evaluate(scenario, "simulator").total_seconds
 
 
 def run_experiment_point(
@@ -104,37 +176,37 @@ def run_experiment_point(
     base_seed: int = DEFAULT_BASE_SEED,
     cluster: ClusterConfig | None = None,
     scheduler: SchedulerConfig | None = None,
+    service: PredictionService | None = None,
 ) -> ExperimentPoint:
     """Run the simulator and both model variants for one experiment point."""
-    cluster = cluster or paper_cluster(num_nodes)
-    if cluster.num_nodes != num_nodes:
-        cluster = cluster.with_nodes(num_nodes)
-    scheduler = scheduler or paper_scheduler()
-
-    measured = simulate_measured_response(
-        workload, cluster, scheduler, repetitions=repetitions, base_seed=base_seed
+    if repetitions <= 0:
+        raise ExperimentError("repetitions must be positive")
+    scenario = scenario_for_workload(
+        workload,
+        num_nodes,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        cluster=cluster,
+        scheduler=scheduler,
     )
+    results = _resolve_service(service).evaluate_many(scenario, POINT_BACKENDS)
+    return _point_from_results(scenario, results)
 
-    job_config = workload.job_configs()[0]
-    model_input = model_input_from_profile(
-        workload.profile,
-        cluster,
-        job_config,
-        num_jobs=workload.num_jobs,
-        slow_start=scheduler.slowstart_enabled,
-    )
-    model = Hadoop2PerformanceModel(model_input)
-    predictions = model.predict_all()
 
-    return ExperimentPoint(
-        num_nodes=num_nodes,
-        num_jobs=workload.num_jobs,
-        input_size_bytes=workload.input_size_bytes,
-        block_size_bytes=workload.block_size_bytes,
-        measured_seconds=measured,
-        forkjoin_seconds=predictions[EstimatorKind.FORK_JOIN].job_response_time,
-        tripathi_seconds=predictions[EstimatorKind.TRIPATHI].job_response_time,
-    )
+def run_suite_series(
+    suite: ScenarioSuite,
+    x_label: str,
+    x_values: list[float],
+    service: PredictionService | None = None,
+) -> ExperimentSeries:
+    """Evaluate a scenario suite (aligned with ``x_values``) into a series."""
+    if len(suite.scenarios) != len(x_values):
+        raise ExperimentError("suite and x_values must align")
+    suite_result = _resolve_service(service).evaluate_suite(suite, POINT_BACKENDS)
+    series = ExperimentSeries(x_label=x_label, x_values=list(x_values))
+    for scenario, row in zip(suite.scenarios, suite_result.rows):
+        series.points.append(_point_from_results(scenario, row))
+    return series
 
 
 def run_series(
@@ -144,18 +216,18 @@ def run_series(
     x_values: list[float],
     repetitions: int = DEFAULT_REPETITIONS,
     base_seed: int = DEFAULT_BASE_SEED,
+    service: PredictionService | None = None,
 ) -> ExperimentSeries:
     """Run a sweep; ``workloads`` and ``node_counts`` are aligned with ``x_values``."""
     if not (len(workloads) == len(node_counts) == len(x_values)):
         raise ExperimentError("workloads, node_counts and x_values must align")
-    series = ExperimentSeries(x_label=x_label, x_values=list(x_values))
-    for workload, num_nodes in zip(workloads, node_counts):
-        series.points.append(
-            run_experiment_point(
-                workload,
-                num_nodes,
-                repetitions=repetitions,
-                base_seed=base_seed,
+    suite = ScenarioSuite(
+        name="series",
+        scenarios=tuple(
+            scenario_for_workload(
+                workload, num_nodes, repetitions=repetitions, base_seed=base_seed
             )
-        )
-    return series
+            for workload, num_nodes in zip(workloads, node_counts)
+        ),
+    )
+    return run_suite_series(suite, x_label, x_values, service=service)

@@ -145,16 +145,10 @@ class ErlangDistribution(ResponseTimeDistribution):
 
     def cdf(self, times: np.ndarray) -> np.ndarray:
         times = np.asarray(times, dtype=float)
-        # P(X <= t) = 1 - sum_{n=0}^{k-1} exp(-rate t) (rate t)^n / n!
-        x = np.clip(self.rate * times, 0.0, None)
-        total = np.zeros_like(x)
-        term = np.ones_like(x)
-        for n in range(self.shape):
-            if n > 0:
-                term = term * x / n
-            total = total + term
-        result = 1.0 - np.exp(-x) * total
-        return np.clip(result, 0.0, 1.0)
+        flat = _erlang_cdf_batch(
+            np.array([self.shape]), np.array([self.rate]), np.atleast_1d(times)
+        )[0]
+        return flat.reshape(times.shape)
 
 
 @dataclass(frozen=True)
@@ -232,6 +226,93 @@ def fit_from_moments(mean: float, variance: float) -> ResponseTimeDistribution:
     return fit_distribution(mean, cv)
 
 
+def _erlang_cdf_batch(
+    shapes: np.ndarray, rates: np.ndarray, times: np.ndarray
+) -> np.ndarray:
+    """Erlang CDFs of several (shape, rate) pairs on one time grid.
+
+    ``P(X <= t) = 1 - exp(-rate t) * sum_{n=0}^{k-1} (rate t)^n / n!``.  The
+    partial sums of all distributions advance through one shared recurrence
+    (``term_n = term_{n-1} * x / n``) up to the largest shape; rows whose
+    shape is already exhausted stop accumulating, so each row performs exactly
+    the arithmetic of the scalar per-distribution loop.
+
+    A partial sum can only overflow once ``x`` is in the several-hundreds
+    (the peak term ``x^n / n!`` needs ``x`` ~> 700 to exceed float range), so
+    the shape is large there too; those entries fall back to the normal
+    approximation ``Erlang(k, r) ~ N(k, k)`` in ``x = r t`` units, which is
+    accurate to well under 1e-3 at such shapes, instead of propagating NaN.
+    """
+    x = np.clip(rates[:, None] * times[None, :], 0.0, None)
+    total = np.ones_like(x)
+    term = np.ones_like(x)
+    with np.errstate(invalid="ignore", over="ignore"):
+        for n in range(1, int(shapes.max())):
+            term = term * x / n
+            active = (n < shapes)[:, None]
+            total = np.where(active, total + term, total)
+        result = 1.0 - np.exp(-x) * total
+    overflowed = ~np.isfinite(total)
+    if overflowed.any():
+        shape_grid = np.broadcast_to(shapes[:, None].astype(float), x.shape)
+        z = (x[overflowed] - shape_grid[overflowed]) / np.sqrt(shape_grid[overflowed])
+        result[overflowed] = [
+            0.5 * (1.0 + math.erf(value / math.sqrt(2.0))) for value in z
+        ]
+    return np.clip(result, 0.0, 1.0)
+
+
+def _hyperexponential_cdf_batch(
+    probabilities: np.ndarray, rates: np.ndarray, times: np.ndarray
+) -> np.ndarray:
+    """Two-branch hyperexponential CDFs (D×2 parameter arrays) on one grid."""
+    clipped = np.clip(times, 0.0, None)[None, :]
+    result = np.zeros((probabilities.shape[0], times.size))
+    for branch in range(probabilities.shape[1]):
+        result = result + probabilities[:, branch, None] * (
+            1.0 - np.exp(-rates[:, branch, None] * clipped)
+        )
+    return np.where(times[None, :] < 0, 0.0, np.clip(result, 0.0, 1.0))
+
+
+def _batched_cdf(
+    distributions: Sequence[ResponseTimeDistribution], times: np.ndarray
+) -> np.ndarray:
+    """Evaluate every distribution's CDF on ``times``, grouped by family.
+
+    Returns a ``(len(distributions), len(times))`` array whose rows are in
+    input order and bit-identical to calling each ``cdf`` individually.
+    """
+    times = np.asarray(times, dtype=float)
+    out = np.empty((len(distributions), times.size))
+    deterministic: list[int] = []
+    erlang: list[int] = []
+    hyper: list[int] = []
+    for index, distribution in enumerate(distributions):
+        # Exact-type dispatch: subclasses may override cdf, so only the
+        # built-in families are batched; everything else evaluates itself.
+        if type(distribution) is DeterministicDistribution:
+            deterministic.append(index)
+        elif type(distribution) is ErlangDistribution:
+            erlang.append(index)
+        elif type(distribution) is HyperexponentialDistribution:
+            hyper.append(index)
+        else:
+            out[index] = distribution.cdf(times)
+    if deterministic:
+        values = np.array([distributions[i].value for i in deterministic])
+        out[deterministic] = (times[None, :] >= values[:, None]).astype(float)
+    if erlang:
+        shapes = np.array([distributions[i].shape for i in erlang])
+        rates = np.array([distributions[i].rate for i in erlang])
+        out[erlang] = _erlang_cdf_batch(shapes, rates, times)
+    if hyper:
+        probabilities = np.array([distributions[i].probabilities for i in hyper])
+        rates = np.array([distributions[i].rates for i in hyper])
+        out[hyper] = _hyperexponential_cdf_batch(probabilities, rates, times)
+    return out
+
+
 def _integration_grid(distributions: Sequence[ResponseTimeDistribution]) -> np.ndarray:
     """Build a time grid covering the bulk of all distributions' mass."""
     upper = 0.0
@@ -261,11 +342,18 @@ def maximum_of(distributions: Sequence[ResponseTimeDistribution]) -> ResponseTim
     if all(isinstance(d, DeterministicDistribution) for d in distributions):
         return DeterministicDistribution(value=max(d.mean for d in distributions))
     grid = _integration_grid(distributions)
+    cdfs = _batched_cdf(distributions, grid)
+    # Multiply rows in input order so rounding matches the historical
+    # one-distribution-at-a-time product exactly.
     product_cdf = np.ones_like(grid)
-    for distribution in distributions:
-        product_cdf = product_cdf * distribution.cdf(grid)
+    for row in cdfs:
+        product_cdf = product_cdf * row
     survival = 1.0 - product_cdf
     mean = float(np.trapezoid(survival, grid))
+    # The maximum stochastically dominates every component, so E[max] can
+    # never fall below the largest component mean; the finite grid truncates
+    # heavy (CV > 1) tails and may undershoot it by a hair.
+    mean = max(mean, max(d.mean for d in distributions))
     second_moment = float(np.trapezoid(2.0 * grid * survival, grid))
     variance = max(second_moment - mean**2, 0.0)
     return fit_from_moments(mean, variance)

@@ -23,8 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import ModelError
-from .network import ClosedNetwork, NetworkSolution
-from .service_center import CenterKind
+from .network import ClosedNetwork
 
 
 def state_space_size(network: ClosedNetwork) -> int:

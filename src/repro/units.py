@@ -54,20 +54,27 @@ def gigabytes(value: float) -> int:
 
 
 def parse_size(text: str | int | float) -> int:
-    """Parse a human-readable data size into bytes.
+    """Parse a human-readable data size into a positive number of bytes.
 
     Accepts an ``int``/``float`` (interpreted as bytes) or a string such as
-    ``"128MB"``, ``"5 GB"``, ``"64 MiB"`` (case-insensitive, optional space).
+    ``"128MB"``, ``"5 GB"``, ``"64 MiB"``, ``"1.5GB"`` (case-insensitive,
+    optional space, fractional values allowed).
 
     Raises
     ------
     ValidationError
-        If the text cannot be interpreted as a data size.
+        If the text cannot be interpreted as a data size, or the size is not
+        strictly positive (a zero-byte input or block makes no scenario
+        well-defined).
     """
+
+    def _positive_bytes(num_bytes: int, original) -> int:
+        if num_bytes <= 0:
+            raise ValidationError(f"data size must be positive, got {original!r}")
+        return num_bytes
+
     if isinstance(text, (int, float)):
-        if text < 0:
-            raise ValidationError(f"data size must be non-negative, got {text!r}")
-        return int(text)
+        return _positive_bytes(int(text), text)
     stripped = text.strip().lower().replace(" ", "")
     for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
         if stripped.endswith(suffix):
@@ -76,11 +83,9 @@ def parse_size(text: str | int | float) -> int:
                 number = float(number_part)
             except ValueError as exc:
                 raise ValidationError(f"cannot parse data size {text!r}") from exc
-            if number < 0:
-                raise ValidationError(f"data size must be non-negative, got {text!r}")
-            return int(round(number * _SIZE_SUFFIXES[suffix]))
+            return _positive_bytes(int(round(number * _SIZE_SUFFIXES[suffix])), text)
     try:
-        return int(float(stripped))
+        return _positive_bytes(int(float(stripped)), text)
     except ValueError as exc:
         raise ValidationError(f"cannot parse data size {text!r}") from exc
 

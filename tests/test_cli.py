@@ -1,0 +1,132 @@
+"""End-to-end CLI tests: every subcommand through ``main(argv)``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ScenarioSuite, Scenario, backend_names
+from repro.cli import main
+from repro.units import megabytes
+
+#: Arguments of a small, fast scenario shared by the CLI tests.
+SMALL_ARGS = [
+    "--nodes", "2",
+    "--input-size", "256MB",
+    "--reduces", "2",
+    "--repetitions", "1",
+]
+
+
+class TestList:
+    def test_lists_figures_backends_and_workloads(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for figure_id in ("figure10", "figure15"):
+            assert figure_id in output
+        for backend in backend_names():
+            assert backend in output
+        for workload in ("wordcount", "terasort", "grep"):
+            assert workload in output
+
+
+class TestPredict:
+    def test_default_backends_are_both_estimators(self, capsys):
+        assert main(["predict", *SMALL_ARGS]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[mva-forkjoin] total=")
+        assert lines[1].startswith("[mva-tripathi] total=")
+
+    def test_explicit_backend_selection(self, capsys):
+        assert main(["predict", *SMALL_ARGS, "--backend", "aria"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("[aria] total=")
+
+    def test_unknown_backend_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", "--backend", "bogus"])
+        assert excinfo.value.code == 2
+
+    def test_invalid_size_reports_error_exit_code(self, capsys):
+        assert main(["predict", "--input-size", "0GB"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_all_backends_with_errors_vs_simulator(self, capsys):
+        assert main(["compare", *SMALL_ARGS]) == 0
+        output = capsys.readouterr().out
+        for backend in backend_names():
+            assert backend in output
+        # Every non-baseline backend row carries a signed relative error.
+        assert output.count("%") == len(backend_names()) - 1
+
+    def test_subset_and_custom_baseline(self, capsys):
+        assert main(
+            ["compare", *SMALL_ARGS, "--backend", "aria", "--baseline", "mva-forkjoin"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "mva-forkjoin" in output and "aria" in output
+        assert "simulator" not in output
+
+
+class TestSweep:
+    def test_sweep_suite_file(self, tmp_path, capsys):
+        suite = ScenarioSuite.from_sweep(
+            "cli-sweep",
+            Scenario(input_size_bytes=megabytes(256), num_reduces=2, repetitions=1),
+            num_nodes=[2, 4],
+        )
+        path = tmp_path / "suite.json"
+        path.write_text(suite.to_json())
+        assert main(["sweep", "--suite", str(path), "--backend", "mva-forkjoin"]) == 0
+        output = capsys.readouterr().out
+        assert "cli-sweep (2 scenarios)" in output
+        assert output.count("wordcount") == 2
+
+    def test_sweep_json_output_roundtrips(self, tmp_path, capsys):
+        suite = ScenarioSuite.from_sweep(
+            "cli-sweep-json",
+            Scenario(input_size_bytes=megabytes(256), num_reduces=2, repetitions=1),
+            num_nodes=[2],
+        )
+        path = tmp_path / "suite.json"
+        path.write_text(suite.to_json())
+        assert main(
+            ["sweep", "--suite", str(path), "--backend", "aria", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert ScenarioSuite.from_dict(payload["suite"]) == suite
+        assert payload["backends"] == ["aria"]
+        assert payload["results"][0]["aria"]["total_seconds"] > 0
+
+    def test_invalid_suite_reports_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"name\": \"x\"}")
+        assert main(["sweep", "--suite", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_suite_file_reports_error_exit_code(self, tmp_path, capsys):
+        assert main(["sweep", "--suite", str(tmp_path / "absent.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_simulate_prints_traces_and_summary(self, capsys):
+        # simulate is a single seeded run: it takes no --repetitions flag.
+        assert main(["simulate", "--nodes", "2", "--input-size", "256MB", "--reduces", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "job 0: response" in output
+        assert "mean job response time" in output
+        assert "makespan" in output
+
+
+class TestFigure:
+    def test_figure_runs_with_one_repetition(self, capsys):
+        assert main(["figure", "figure10", "--repetitions", "1", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "HadoopSetup" in output
+        assert "fork-join" in output and "tripathi" in output

@@ -38,6 +38,15 @@ class TestFigureDefinitions:
 
 
 class TestExperimentPoint:
+    def test_custom_profile_rejected_loudly(self):
+        from dataclasses import replace
+        from repro.workloads import wordcount_profile
+
+        tweaked = replace(wordcount_profile(), map_cpu_seconds_per_mib=0.5)
+        workload = WorkloadSpec(profile=tweaked, input_size_bytes=gigabytes(1))
+        with pytest.raises(ExperimentError, match="not reconstructible"):
+            run_experiment_point(workload, num_nodes=2, repetitions=1)
+
     def test_point_produces_measurement_and_estimates(self):
         workload = WorkloadSpec.wordcount(gigabytes(1), num_jobs=1, num_reduces=2)
         point = run_experiment_point(workload, num_nodes=4, repetitions=1, base_seed=5)

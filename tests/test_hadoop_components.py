@@ -28,7 +28,7 @@ from repro.hadoop.tasks import (
     build_map_stages,
     build_reduce_stages,
 )
-from repro.units import GiB, MiB, gigabytes, megabytes
+from repro.units import GiB, gigabytes, megabytes
 
 
 def small_cluster(num_nodes: int = 3) -> ClusterConfig:

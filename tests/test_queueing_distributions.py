@@ -14,11 +14,56 @@ from repro.queueing.distributions import (
     DistributionKind,
     ErlangDistribution,
     HyperexponentialDistribution,
+    _batched_cdf,
+    _integration_grid,
     fit_distribution,
     fit_from_moments,
     maximum_of,
     sum_of,
 )
+
+
+def _scalar_cdf(distribution, t: float) -> float:
+    """Pure-scalar reference CDF (pre-vectorization arithmetic, per point)."""
+    if isinstance(distribution, DeterministicDistribution):
+        return 1.0 if t >= distribution.value else 0.0
+    if isinstance(distribution, ErlangDistribution):
+        x = max(distribution.rate * float(t), 0.0)
+        total = 0.0
+        term = 1.0
+        for n in range(distribution.shape):
+            if n > 0:
+                term = term * x / n
+            total = total + term
+        if not math.isfinite(total):
+            # Overflow implies a large x (and shape): normal approximation.
+            z = (x - distribution.shape) / math.sqrt(distribution.shape)
+            return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+        return min(max(1.0 - math.exp(-x) * total, 0.0), 1.0)
+    if isinstance(distribution, HyperexponentialDistribution):
+        if t < 0:
+            return 0.0
+        result = sum(
+            p * (1.0 - math.exp(-r * max(t, 0.0)))
+            for p, r in zip(distribution.probabilities, distribution.rates)
+        )
+        return min(max(result, 0.0), 1.0)
+    raise AssertionError(f"unexpected distribution {distribution!r}")
+
+
+def _scalar_maximum_of(distributions):
+    """Reference max-composition using one cdf call per distribution."""
+    grid = _integration_grid(distributions)
+    product_cdf = np.ones_like(grid)
+    for distribution in distributions:
+        product_cdf = product_cdf * np.array(
+            [_scalar_cdf(distribution, t) for t in grid]
+        )
+    survival = 1.0 - product_cdf
+    mean = float(np.trapezoid(survival, grid))
+    mean = max(mean, max(d.mean for d in distributions))
+    second_moment = float(np.trapezoid(2.0 * grid * survival, grid))
+    return fit_from_moments(mean, max(second_moment - mean**2, 0.0))
 
 
 class TestErlang:
@@ -147,6 +192,71 @@ class TestComposition:
         # E[max] lies between the largest mean and the sum of the means.
         assert combined.mean >= max(means) - 1e-6
         assert combined.mean <= sum(means) + 1e-6
+
+
+class TestVectorizedEquivalence:
+    """The batched CDF paths must match the scalar reference arithmetic."""
+
+    CASES = [
+        DeterministicDistribution(3.5),
+        ErlangDistribution(shape=1, rate=0.8),
+        ErlangDistribution(shape=7, rate=2.5),
+        ErlangDistribution(shape=500, rate=40.0),
+        HyperexponentialDistribution(probabilities=(0.8, 0.2), rates=(2.0, 0.25)),
+    ]
+
+    @pytest.mark.parametrize("distribution", CASES, ids=lambda d: repr(d))
+    def test_cdf_matches_scalar_reference(self, distribution):
+        times = np.linspace(0.0, 30.0, 257)
+        expected = np.array([_scalar_cdf(distribution, t) for t in times])
+        np.testing.assert_allclose(distribution.cdf(times), expected, rtol=0, atol=1e-12)
+
+    def test_batched_cdf_matches_individual_calls(self):
+        times = np.linspace(0.0, 25.0, 301)
+        rows = _batched_cdf(self.CASES, times)
+        for row, distribution in zip(rows, self.CASES):
+            assert np.array_equal(row, distribution.cdf(times))
+
+    def test_huge_shape_overflow_falls_back_to_normal_approximation(self):
+        # The partial-sum recurrence overflows around x ~ 700+; the CDF must
+        # stay sane there instead of returning NaN (or a blanket 1.0).
+        erlang = ErlangDistribution(shape=2000, rate=1.0)
+        cdf = erlang.cdf(np.array([750.0, 2000.0, 3000.0]))
+        assert cdf[0] == pytest.approx(0.0, abs=1e-9)  # far below the mean
+        assert cdf[1] == pytest.approx(0.5, abs=0.02)  # at the mean
+        assert cdf[2] == pytest.approx(1.0, abs=1e-9)  # far above the mean
+        assert np.all(np.isfinite(cdf))
+
+    def test_cdf_accepts_scalar_input(self):
+        erlang = ErlangDistribution(shape=3, rate=1.5)
+        value = erlang.cdf(2.0)
+        assert value.shape == ()
+        assert float(value) == pytest.approx(_scalar_cdf(erlang, 2.0), abs=1e-12)
+
+    def test_maximum_of_matches_scalar_path(self):
+        groups = [
+            [fit_distribution(5.0, 0.5), fit_distribution(7.0, 0.9)],
+            [fit_distribution(4.0, 1.8), fit_distribution(6.0, 0.3)],
+            [DeterministicDistribution(2.0), fit_distribution(3.0, 0.7)],
+            [fit_distribution(mean, 0.4) for mean in (2.0, 3.0, 4.0, 5.0)],
+        ]
+        for distributions in groups:
+            fast = maximum_of(distributions)
+            reference = _scalar_maximum_of(distributions)
+            assert fast.kind is reference.kind
+            assert fast.mean == pytest.approx(reference.mean, rel=1e-12)
+            assert fast.variance == pytest.approx(reference.variance, rel=1e-9, abs=1e-12)
+
+    @given(
+        means=st.lists(st.floats(min_value=0.5, max_value=50.0), min_size=2, max_size=5),
+        cvs=st.lists(st.floats(min_value=0.05, max_value=2.0), min_size=2, max_size=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_maximum_of_matches_scalar_path_property(self, means, cvs):
+        distributions = [fit_distribution(mean, cv) for mean, cv in zip(means, cvs)]
+        fast = maximum_of(distributions)
+        reference = _scalar_maximum_of(distributions)
+        assert fast.mean == pytest.approx(reference.mean, rel=1e-10)
 
 
 class TestFitFromMoments:

@@ -8,14 +8,12 @@ from repro.config import JobConfig
 from repro.core import ModelInput, TaskClass, TaskClassDemands
 from repro.exceptions import ConfigurationError, ModelError
 from repro.static_models import (
-    AriaBounds,
     AriaJobProfile,
     AriaModel,
     HerodotouJobModel,
     ViannaHadoop1Model,
 )
 from repro.static_models.herodotou import (
-    CostStatistics,
     DataflowStatistics,
     HadoopEnvironment,
     estimate_map_phases,

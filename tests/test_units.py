@@ -43,6 +43,9 @@ class TestParseSize:
             ("2048", 2048),
             (4096, 4096),
             ("10kb", 10 * KiB),
+            ("1.5GB", GiB + GiB // 2),
+            ("0.5 MiB", MiB // 2),
+            ("2.25kb", int(round(2.25 * KiB))),
         ],
     )
     def test_valid_sizes(self, text, expected):
@@ -58,8 +61,15 @@ class TestParseSize:
             parse_size(-5)
         with pytest.raises(ValidationError):
             parse_size("-5MB")
+        with pytest.raises(ValidationError):
+            parse_size("-1.5GB")
 
-    @given(st.integers(min_value=0, max_value=10**15))
+    @pytest.mark.parametrize("value", [0, 0.0, "0", "0B", "0.0GB"])
+    def test_zero_size_rejected(self, value):
+        with pytest.raises(ValidationError):
+            parse_size(value)
+
+    @given(st.integers(min_value=1, max_value=10**15))
     def test_roundtrip_plain_integers(self, value):
         assert parse_size(str(value)) == value
 

@@ -166,7 +166,7 @@ class TestCli:
     def test_predict_command(self, capsys):
         assert cli_main(["predict", "--nodes", "4", "--input-size", "1GB", "--jobs", "1"]) == 0
         output = capsys.readouterr().out
-        assert "fork-join" in output and "tripathi" in output
+        assert "mva-forkjoin" in output and "mva-tripathi" in output
 
     def test_simulate_command(self, capsys):
         assert cli_main(["simulate", "--nodes", "2", "--input-size", "512MB", "--reduces", "1"]) == 0
