@@ -33,6 +33,7 @@ _API_EXPORTS = {
     "PredictionBackend",
     "PredictionResult",
     "PredictionService",
+    "ResultStore",
     "Scenario",
     "ScenarioSuite",
     "SuiteResult",
@@ -63,6 +64,7 @@ __all__ = [
     "PredictionBackend",
     "PredictionResult",
     "PredictionService",
+    "ResultStore",
     "Scenario",
     "ScenarioSuite",
     "SchedulerConfig",

@@ -11,7 +11,10 @@ prediction engines:
 * :class:`PredictionResult` — the uniform answer shape (total seconds,
   per-phase breakdown, metadata);
 * :class:`PredictionService` — batch evaluation of suites across backends
-  with keyed result caching and thread-pool parallelism.
+  with keyed result caching and serial / thread-pool / process-pool
+  execution modes;
+* :class:`ResultStore` — a persistent, crash-tolerant result store keyed by
+  ``(Scenario.cache_key(), backend)``, so sweeps survive process restarts.
 
 Quick example::
 
@@ -25,30 +28,48 @@ Quick example::
 
 from .backends import (
     PredictionBackend,
+    backend_is_cpu_bound,
     backend_names,
+    backend_version,
     create_backend,
     register_backend,
 )
 from .results import BackendComparison, PredictionResult
 from .scenario import (
+    SCENARIO_SPEC_VERSION,
     WORKLOAD_PROFILES,
     Scenario,
     ScenarioSuite,
     register_workload_profile,
 )
-from .service import DEFAULT_BASELINE, PredictionService, SuiteResult
+from .service import (
+    DEFAULT_BASELINE,
+    EXECUTION_MODES,
+    PredictionService,
+    ServiceStats,
+    SuiteResult,
+)
+from .store import STORE_FORMAT_VERSION, ResultStore, StoreStats
 
 __all__ = [
     "BackendComparison",
     "DEFAULT_BASELINE",
+    "EXECUTION_MODES",
     "PredictionBackend",
     "PredictionResult",
     "PredictionService",
+    "ResultStore",
+    "SCENARIO_SPEC_VERSION",
+    "STORE_FORMAT_VERSION",
     "Scenario",
     "ScenarioSuite",
+    "ServiceStats",
+    "StoreStats",
     "SuiteResult",
     "WORKLOAD_PROFILES",
+    "backend_is_cpu_bound",
     "backend_names",
+    "backend_version",
     "create_backend",
     "register_backend",
     "register_workload_profile",

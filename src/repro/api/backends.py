@@ -39,7 +39,19 @@ _ARIA_SPREAD_SIGMAS = 2.0
 
 @runtime_checkable
 class PredictionBackend(Protocol):
-    """A named engine that turns a :class:`Scenario` into a :class:`PredictionResult`."""
+    """A named engine that turns a :class:`Scenario` into a :class:`PredictionResult`.
+
+    Backends may additionally declare two class attributes consumed by the
+    service and the persistent store:
+
+    * ``version`` (int, default 1) — bump whenever the backend's numerical
+      behaviour changes; stored results recorded under an older version are
+      treated as stale;
+    * ``cpu_bound`` (bool, default False) — marks backends whose ``predict``
+      does enough Python-level work that the GIL serialises a thread pool;
+      the service's ``execution="process"`` mode ships those to a process
+      pool instead.
+    """
 
     name: ClassVar[str]
 
@@ -67,6 +79,21 @@ def register_backend(name: str):
 def backend_names() -> list[str]:
     """Sorted names of all registered backends."""
     return sorted(_REGISTRY)
+
+
+def backend_version(name: str) -> int | None:
+    """Behaviour version of a registered backend; ``None`` when unregistered.
+
+    The persistent result store records this next to every result and treats
+    any mismatch on load as a stale record.
+    """
+    cls = _REGISTRY.get(name)
+    return getattr(cls, "version", 1) if cls is not None else None
+
+
+def backend_is_cpu_bound(name: str) -> bool:
+    """Whether a backend benefits from process-pool (GIL-free) execution."""
+    return bool(getattr(_REGISTRY.get(name), "cpu_bound", False))
 
 
 def create_backend(name: str, **options) -> PredictionBackend:
@@ -267,6 +294,8 @@ class SimulatorBackend:
     """
 
     name: ClassVar[str]
+    #: The discrete-event loop is pure Python: fan it out over processes.
+    cpu_bound: ClassVar[bool] = True
 
     def predict(self, scenario: Scenario) -> PredictionResult:
         workload = scenario.workload_spec()

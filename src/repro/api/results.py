@@ -16,7 +16,23 @@ from types import MappingProxyType
 from typing import Any
 
 from ..analysis.errors import relative_error
+from ..exceptions import ValidationError
 from .scenario import Scenario
+
+
+def _json_normalise(value: Any) -> Any:
+    """Deep-convert containers to their JSON shapes (tuples become lists).
+
+    Results travel through JSON twice — the persistent store and the
+    process-pool round-trip — so the in-memory representation must already be
+    JSON-canonical or a freshly computed result would compare unequal to the
+    same result read back from disk.
+    """
+    if isinstance(value, Mapping):
+        return {str(key): _json_normalise(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_normalise(item) for item in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -35,7 +51,9 @@ class PredictionResult:
         # Results are shared through the service cache: freeze the mappings so
         # a caller's mutation cannot poison later cache hits.
         object.__setattr__(self, "phases", MappingProxyType(dict(self.phases)))
-        object.__setattr__(self, "metadata", MappingProxyType(dict(self.metadata)))
+        object.__setattr__(
+            self, "metadata", MappingProxyType(_json_normalise(self.metadata))
+        )
 
     def relative_error_to(self, baseline: "PredictionResult") -> float:
         """Signed relative error of this estimate against ``baseline``."""
@@ -50,6 +68,27 @@ class PredictionResult:
             "phases": dict(self.phases),
             "metadata": dict(self.metadata),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PredictionResult":
+        """Rebuild a result from :meth:`to_dict` output (store / process pool)."""
+        if not isinstance(data, Mapping):
+            raise ValidationError(
+                f"prediction result must be a mapping, got {type(data).__name__}"
+            )
+        try:
+            return cls(
+                backend=data["backend"],
+                scenario=Scenario.from_dict(data["scenario"]),
+                total_seconds=float(data["total_seconds"]),
+                phases={
+                    str(name): float(seconds)
+                    for name, seconds in dict(data.get("phases", {})).items()
+                },
+                metadata=dict(data.get("metadata", {})),
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ValidationError(f"invalid prediction result: {exc}") from exc
 
     def summary(self) -> str:
         """One-line human-readable summary."""

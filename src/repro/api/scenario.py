@@ -28,9 +28,16 @@ from ..exceptions import ValidationError
 from ..units import GiB, MiB, parse_size
 from ..workloads.generators import WorkloadSpec, paper_cluster, paper_scheduler
 from ..workloads.grep import grep_profile
+from ..workloads.iterative import iterative_profile
 from ..workloads.profiles import ApplicationProfile, model_input_from_profile
 from ..workloads.terasort import terasort_profile
 from ..workloads.wordcount import wordcount_profile
+
+#: Version of the scenario specification semantics.  Bump whenever the
+#: meaning of a scenario field (or how backends consume one) changes in a way
+#: that invalidates previously computed results; the persistent result store
+#: records this version and skips records written under a different one.
+SCENARIO_SPEC_VERSION = 1
 
 #: Registered application-profile factories, keyed by workload name.
 WORKLOAD_PROFILES: dict[str, Callable[[float], ApplicationProfile]] = {
@@ -57,6 +64,11 @@ def register_workload_profile(
     if name in WORKLOAD_PROFILES:
         raise ValidationError(f"workload {name!r} is already registered")
     WORKLOAD_PROFILES[name] = factory
+
+
+# The iterative/ML-style profile arrives through the public registration path,
+# exactly as downstream users register their own profiles.
+register_workload_profile("iterative-ml", iterative_profile)
 
 
 # -- nested config (de)serialisation ------------------------------------------

@@ -8,27 +8,73 @@ runner, and library users share.  It
 * memoises every ``(scenario, backend)`` evaluation under the scenario's
   stable :meth:`~repro.api.scenario.Scenario.cache_key`, so sweeps that
   revisit a point (and repeated figure runs) pay for it once;
-* fans a :class:`~repro.api.scenario.ScenarioSuite` out over a
-  :class:`concurrent.futures.ThreadPoolExecutor`, one task per
-  (sweep point, backend) pair — results are deterministic because every
-  backend derives its seeds from the scenario alone.
+* optionally persists every evaluation through a
+  :class:`~repro.api.store.ResultStore`, so sweeps survive process restarts
+  and repeated runs replay completed points from disk;
+* fans a :class:`~repro.api.scenario.ScenarioSuite` out over a pluggable
+  executor layer — ``execution="serial"`` (no pool, deterministic debugging),
+  ``"thread"`` (the default; fine for the NumPy-heavy analytic backends,
+  which release the GIL), or ``"process"`` (CPU-bound backends such as the
+  pure-Python simulator are shipped to a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, sidestepping the GIL).
+
+Results are deterministic in every mode because every backend derives its
+seeds from the scenario alone; the execution-mode equivalence tests pin this
+down backend by backend.
 """
 
 from __future__ import annotations
 
+import logging
+import multiprocessing
 import os
 import threading
 from collections.abc import Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
-from ..exceptions import BackendError
-from .backends import PredictionBackend, backend_names, create_backend
+from ..exceptions import BackendError, StoreError, ValidationError
+from .backends import (
+    PredictionBackend,
+    backend_is_cpu_bound,
+    backend_names,
+    create_backend,
+)
 from .results import BackendComparison, PredictionResult
 from .scenario import Scenario, ScenarioSuite
+from .store import ResultStore
+
+logger = logging.getLogger(__name__)
 
 #: Default baseline backend for comparisons (the "measured" series).
 DEFAULT_BASELINE = "simulator"
+
+#: Accepted values of the service's ``execution`` parameter.
+EXECUTION_MODES = ("serial", "thread", "process")
+
+
+def _predict_in_subprocess(scenario_data: dict, backend: str, options: dict) -> dict:
+    """Worker-side evaluation: plain dicts in, plain dicts out.
+
+    Shipping JSON shapes instead of live objects keeps the contract
+    pickle-trivial and start-method-agnostic; the parent rebuilds the
+    :class:`PredictionResult` (and records it in cache + store) itself.
+    """
+    scenario = Scenario.from_dict(scenario_data)
+    return create_backend(backend, **options).predict(scenario).to_dict()
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Where the service's answers came from (one snapshot)."""
+
+    #: Hits served from the in-memory cache.
+    memory_hits: int = 0
+    #: Hits served from the persistent result store.
+    store_hits: int = 0
+    #: Actual backend evaluations (cache and store both missed).
+    evaluations: int = 0
 
 
 @dataclass(frozen=True)
@@ -69,7 +115,13 @@ class PredictionService:
         max_workers: int | None = None,
         cache: bool = True,
         backend_options: dict[str, dict] | None = None,
+        store: ResultStore | str | os.PathLike | None = None,
+        execution: str = "thread",
     ) -> None:
+        if execution not in EXECUTION_MODES:
+            raise ValidationError(
+                f"unknown execution mode {execution!r}; known: {list(EXECUTION_MODES)}"
+            )
         self._backend_options = dict(backend_options or {})
         names = list(backends) if backends is not None else backend_names()
         self._backends: dict[str, PredictionBackend] = {
@@ -80,12 +132,39 @@ class PredictionService:
         self._cache_enabled = cache
         self._cache: dict[tuple[str, str], PredictionResult] = {}
         self._lock = threading.Lock()
+        self._execution = execution
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self._store = store
+        self._memory_hits = 0
+        self._store_hits = 0
+        self._evaluations = 0
 
     # -- introspection --------------------------------------------------------
 
     def backends(self) -> list[str]:
         """Names of the backends this service evaluates by default."""
-        return list(self._backends)
+        with self._lock:
+            return list(self._backends)
+
+    @property
+    def execution(self) -> str:
+        """The configured execution mode (``serial`` / ``thread`` / ``process``)."""
+        return self._execution
+
+    @property
+    def store(self) -> ResultStore | None:
+        """The persistent result store, if one is attached."""
+        return self._store
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of cache-hit / store-hit / evaluation counters."""
+        with self._lock:
+            return ServiceStats(
+                memory_hits=self._memory_hits,
+                store_hits=self._store_hits,
+                evaluations=self._evaluations,
+            )
 
     def cache_size(self) -> int:
         """Number of memoised (scenario, backend) evaluations."""
@@ -93,72 +172,193 @@ class PredictionService:
             return len(self._cache)
 
     def clear_cache(self) -> None:
-        """Drop all memoised evaluations."""
+        """Drop all memoised evaluations (the persistent store is untouched)."""
         with self._lock:
             self._cache.clear()
 
     # -- evaluation -----------------------------------------------------------
 
     def _backend(self, name: str) -> PredictionBackend:
-        try:
-            return self._backends[name]
-        except KeyError:
-            # Allow one-off evaluation with backends outside the configured
-            # set, honouring any options supplied for them at construction.
-            backend = create_backend(name, **self._backend_options.get(name, {}))
-            self._backends[name] = backend
+        # Constructed under the lock so concurrent suite evaluation with an
+        # unconfigured backend cannot build (and race to publish) it twice.
+        with self._lock:
+            backend = self._backends.get(name)
+            if backend is None:
+                backend = create_backend(name, **self._backend_options.get(name, {}))
+                self._backends[name] = backend
             return backend
 
-    def evaluate(self, scenario: Scenario, backend: str) -> PredictionResult:
-        """Evaluate one scenario with one backend (cached)."""
-        key = (scenario.cache_key(), backend)
+    def _lookup(self, key: tuple[str, str]) -> PredictionResult | None:
+        """Memory cache, then persistent store; updates the hit counters."""
         if self._cache_enabled:
             with self._lock:
                 cached = self._cache.get(key)
-            if cached is not None:
-                return cached
-        result = self._backend(backend).predict(scenario)
-        if self._cache_enabled:
-            with self._lock:
+                if cached is not None:
+                    self._memory_hits += 1
+                    return cached
+        if self._store is not None:
+            stored = self._store.get(
+                key[0], key[1], options=self._backend_options.get(key[1], {})
+            )
+            if stored is not None:
+                with self._lock:
+                    self._store_hits += 1
+                    if self._cache_enabled:
+                        self._cache[key] = stored
+                return stored
+        return None
+
+    def _record_evaluation(self, key: tuple[str, str], result: PredictionResult) -> None:
+        """Count one real evaluation and publish it to cache and store."""
+        with self._lock:
+            self._evaluations += 1
+            if self._cache_enabled:
                 self._cache[key] = result
+        if self._store is not None:
+            try:
+                self._store.put(
+                    key[0],
+                    key[1],
+                    result,
+                    options=self._backend_options.get(key[1], {}),
+                )
+            except StoreError as exc:
+                # An unwritable store degrades to in-memory caching rather
+                # than killing a long sweep halfway through.
+                logger.warning("could not persist result for %s: %s", key[1], exc)
+
+    def evaluate(self, scenario: Scenario, backend: str) -> PredictionResult:
+        """Evaluate one scenario with one backend (cached, store-backed)."""
+        key = (scenario.cache_key(), backend)
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        result = self._backend(backend).predict(scenario)
+        self._record_evaluation(key, result)
+        return result
+
+    def _evaluate_via_process(
+        self, scenario: Scenario, backend: str, pool: ProcessPoolExecutor
+    ) -> PredictionResult:
+        """Evaluate one point in the process pool, falling back to in-process."""
+        key = (scenario.cache_key(), backend)
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
+        try:
+            payload = pool.submit(
+                _predict_in_subprocess,
+                scenario.to_dict(),
+                backend,
+                self._backend_options.get(backend, {}),
+            ).result()
+        except (BrokenProcessPool, OSError, ValidationError, BackendError) as exc:
+            # ValidationError/BackendError here almost always mean the worker
+            # process lacks a runtime registration the parent has (spawn and
+            # forkserver start methods import a fresh registry); re-running
+            # in-process either succeeds with the parent's registry or raises
+            # the genuine application error.
+            logger.warning(
+                "process-pool evaluation of %s failed (%s); running in-process",
+                backend,
+                exc,
+            )
+            return self.evaluate(scenario, backend)
+        result = PredictionResult.from_dict(payload)
+        self._record_evaluation(key, result)
         return result
 
     def evaluate_many(
         self, scenario: Scenario, backends: Sequence[str] | None = None
     ) -> dict[str, PredictionResult]:
-        """Evaluate one scenario with several backends."""
+        """Evaluate one scenario with several backends (per the execution mode)."""
         names = list(backends) if backends is not None else self.backends()
-        return {name: self.evaluate(scenario, name) for name in names}
+        key = scenario.cache_key()
+        results = self._evaluate_unique({(key, name): scenario for name in names})
+        return {name: results[(key, name)] for name in names}
 
     def evaluate_suite(
         self,
         suite: ScenarioSuite,
         backends: Sequence[str] | None = None,
     ) -> SuiteResult:
-        """Evaluate every (scenario, backend) pair of a suite in parallel."""
+        """Evaluate every (scenario, backend) pair of a suite.
+
+        Duplicate sweep points share one evaluation; the fan-out strategy is
+        the service's ``execution`` mode.
+        """
         names = tuple(backends) if backends is not None else tuple(self.backends())
-        tasks = [
-            (index, name)
+        keys = [scenario.cache_key() for scenario in suite.scenarios]
+        unique: dict[tuple[str, str], Scenario] = {}
+        for index, scenario in enumerate(suite.scenarios):
+            for name in names:
+                unique.setdefault((keys[index], name), scenario)
+        results = self._evaluate_unique(unique)
+        rows = tuple(
+            {name: results[(keys[index], name)] for name in names}
             for index in range(len(suite.scenarios))
-            for name in names
-        ]
-        max_workers = self._max_workers or min(len(tasks), (os.cpu_count() or 2))
-        rows: list[dict[str, PredictionResult]] = [{} for _ in suite.scenarios]
+        )
+        return SuiteResult(suite=suite, backends=names, rows=rows)
+
+    # -- executor layer -------------------------------------------------------
+
+    def _evaluate_unique(
+        self, unique: dict[tuple[str, str], Scenario]
+    ) -> dict[tuple[str, str], PredictionResult]:
+        """Dispatch deduplicated (key, backend) tasks per the execution mode."""
+        if self._execution == "serial" or len(unique) <= 1:
+            return {
+                key: self.evaluate(scenario, key[1])
+                for key, scenario in unique.items()
+            }
+        if self._execution == "process":
+            pool = self._make_process_pool()
+            if pool is not None:
+                try:
+                    return self._evaluate_threaded(unique, process_pool=pool)
+                finally:
+                    pool.shutdown()
+        return self._evaluate_threaded(unique)
+
+    def _evaluate_threaded(
+        self,
+        unique: dict[tuple[str, str], Scenario],
+        process_pool: ProcessPoolExecutor | None = None,
+    ) -> dict[tuple[str, str], PredictionResult]:
+        """Thread-pool fan-out; CPU-bound tasks hop to ``process_pool`` if given."""
+
+        def run(key: tuple[str, str], scenario: Scenario) -> PredictionResult:
+            if process_pool is not None and backend_is_cpu_bound(key[1]):
+                return self._evaluate_via_process(scenario, key[1], process_pool)
+            return self.evaluate(scenario, key[1])
+
+        max_workers = self._max_workers or min(len(unique), (os.cpu_count() or 2))
         with ThreadPoolExecutor(max_workers=max(1, max_workers)) as executor:
-            # Duplicate sweep points share one future: the cache only dedupes
-            # *completed* evaluations, and all tasks are submitted up front.
-            futures = {}
-            for index, name in tasks:
-                key = (suite.scenarios[index].cache_key(), name)
-                if key not in futures:
-                    futures[key] = executor.submit(
-                        self.evaluate, suite.scenarios[index], name
-                    )
-            for index, name in tasks:
-                rows[index][name] = futures[
-                    (suite.scenarios[index].cache_key(), name)
-                ].result()
-        return SuiteResult(suite=suite, backends=names, rows=tuple(rows))
+            futures = {
+                key: executor.submit(run, key, scenario)
+                for key, scenario in unique.items()
+            }
+            return {key: future.result() for key, future in futures.items()}
+
+    def _make_process_pool(self) -> ProcessPoolExecutor | None:
+        """A process pool, or ``None`` where subprocesses are unavailable.
+
+        ``REPRO_MP_START_METHOD`` overrides the platform's multiprocessing
+        start method (``fork`` / ``spawn`` / ``forkserver``) — CI uses it to
+        exercise the stricter spawn path that macOS and Windows default to.
+        """
+        workers = self._max_workers or os.cpu_count() or 1
+        try:
+            mp_context = None
+            method = os.environ.get("REPRO_MP_START_METHOD")
+            if method:
+                mp_context = multiprocessing.get_context(method)
+            return ProcessPoolExecutor(max_workers=max(1, workers), mp_context=mp_context)
+        except (NotImplementedError, ImportError, OSError, ValueError) as exc:
+            logger.warning(
+                "process pool unavailable (%s); falling back to thread execution", exc
+            )
+            return None
 
     def compare(
         self,

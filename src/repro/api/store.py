@@ -1,0 +1,262 @@
+"""Persistent result store: prediction results that survive process restarts.
+
+A :class:`ResultStore` materialises :class:`~repro.api.results.PredictionResult`
+records on disk keyed by ``(Scenario.cache_key(), backend)``, so sweeps,
+figure runs, and benches pay for each (scenario, backend) evaluation exactly
+once across process lifetimes — re-running a sweep after a crash (or on a
+fresh machine sharing the store directory) replays the completed points from
+disk and only computes the missing ones.
+
+Layout: sharded JSON.  Each record is one small JSON file under
+``<store>/records/<hh>/<digest>.json`` where ``digest`` is the SHA-256 of the
+``(backend, canonical backend options, cache key)`` triple and ``hh`` its
+first two hex characters.  Backend constructor options are part of the key
+because they change what a backend computes: two services configured
+differently never share a record.  One
+file per record keeps every write atomic (the record is written to a
+temporary file in the same directory and ``os.replace``d into place), which
+makes concurrent writers on one store path safe: two processes computing the
+same point race to rename identical content, and distinct points never touch
+the same file.
+
+Records are versioned three ways — the store format itself, the scenario
+spec (:data:`~repro.api.scenario.SCENARIO_SPEC_VERSION`), and the producing
+backend's ``version`` attribute.  A record written under any other version is
+skipped as stale on load, so bumping a backend's version invalidates exactly
+that backend's cached results.  A truncated or garbled record file is never
+fatal: it is skipped, counted in :attr:`ResultStore.stats`, and logged; the
+next ``put`` of that point simply overwrites it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import logging
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..exceptions import StoreError
+from .backends import backend_version
+from .results import PredictionResult
+from .scenario import SCENARIO_SPEC_VERSION
+
+logger = logging.getLogger(__name__)
+
+#: Version of the on-disk record envelope; bump on layout changes.
+STORE_FORMAT_VERSION = 1
+
+#: Fields every record envelope must carry to be considered well-formed.
+_REQUIRED_FIELDS = (
+    "format",
+    "spec_version",
+    "backend",
+    "backend_version",
+    "options",
+    "key",
+    "result",
+)
+
+
+def _current_umask() -> int:
+    """The process umask (readable only by setting and restoring it)."""
+    mask = os.umask(0)
+    os.umask(mask)
+    return mask
+
+
+#: Permissions for record files.  mkstemp creates 0600 files, but shared
+#: store directories need ordinary umask-governed permissions so peers can
+#: read each other's records.  Captured once at import: the umask read is a
+#: process-global set-and-restore and must not race concurrent puts.
+_RECORD_MODE = 0o666 & ~_current_umask()
+
+
+def _canonical_options(options: "dict | None") -> str:
+    """Stable string form of a backend's constructor options.
+
+    Options change what a backend computes, so they partition the store:
+    they are folded into the record digest and envelope.  ``default=repr``
+    keeps this total — unserialisable option values yield a stable-enough
+    key instead of an exception on lookup.
+    """
+    return json.dumps(options or {}, sort_keys=True, default=repr)
+
+
+@dataclass
+class StoreStats:
+    """Outcome of one disk scan: how many records were usable."""
+
+    loaded: int = 0
+    #: Unparseable or structurally invalid record files (skipped, logged).
+    corrupt: int = 0
+    #: Well-formed records written under a different format/spec/backend version.
+    stale: int = 0
+
+
+class ResultStore:
+    """Disk-backed ``(cache key, backend) -> PredictionResult`` mapping."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = Path(path)
+        if self._path.exists() and not self._path.is_dir():
+            raise StoreError(
+                f"store path {str(self._path)!r} exists and is not a directory"
+            )
+        self._records_dir = self._path / "records"
+        self._lock = threading.Lock()
+        # Populated lazily: get() probes exactly the record files it needs,
+        # so opening a store stays O(1) however many records it has grown to.
+        # refresh() performs the full scan when a complete view is wanted.
+        self._index: dict[tuple[str, str, str], PredictionResult] = {}
+        self.stats = StoreStats()
+
+    @property
+    def path(self) -> Path:
+        """Root directory of the store."""
+        return self._path
+
+    def __len__(self) -> int:
+        """Number of *indexed* records (run :meth:`refresh` for the disk total)."""
+        with self._lock:
+            return len(self._index)
+
+    def keys(self) -> list[tuple[str, str, str]]:
+        """All indexed ``(cache key, backend, canonical options)`` triples."""
+        with self._lock:
+            return list(self._index)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(
+        self, key: str, backend: str, options: dict | None = None
+    ) -> PredictionResult | None:
+        """The stored result of one point, or ``None``.
+
+        ``options`` are the backend's constructor options: a record is only a
+        hit for the configuration that produced it.  Misses probe the disk
+        before giving up, so records written by a concurrent process on the
+        same store path are picked up without an explicit :meth:`refresh`.
+        """
+        options_key = _canonical_options(options)
+        index_key = (key, backend, options_key)
+        with self._lock:
+            hit = self._index.get(index_key)
+        if hit is not None:
+            return hit
+        # Probe outcomes go to a throwaway stats object: ``stats`` documents
+        # the last full scan, and probes run concurrently from pool threads.
+        loaded = self._read_record(
+            self._record_path(key, backend, options_key), StoreStats()
+        )
+        if loaded is not None and loaded[:3] == index_key:
+            with self._lock:
+                self._index[index_key] = loaded[3]
+            return loaded[3]
+        return None
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        backend: str,
+        result: PredictionResult,
+        options: dict | None = None,
+    ) -> None:
+        """Persist one result atomically (write-temp-then-rename)."""
+        options_key = _canonical_options(options)
+        record = {
+            "format": STORE_FORMAT_VERSION,
+            "spec_version": SCENARIO_SPEC_VERSION,
+            "backend": backend,
+            "backend_version": backend_version(backend),
+            "options": options_key,
+            "key": key,
+            "result": result.to_dict(),
+        }
+        path = self._record_path(key, backend, options_key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{path.stem[:16]}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(record, handle, sort_keys=True)
+                os.chmod(tmp_name, _RECORD_MODE)
+                os.replace(tmp_name, path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_name)
+                raise
+        except (OSError, TypeError, ValueError) as exc:
+            # TypeError/ValueError cover unserialisable result payloads from
+            # custom backends; the store contract is never-fatal either way.
+            raise StoreError(f"cannot write store record {str(path)!r}: {exc}") from exc
+        with self._lock:
+            self._index[(key, backend, options_key)] = result
+
+    # -- maintenance ----------------------------------------------------------
+
+    def refresh(self) -> StoreStats:
+        """Rescan the directory, replacing the in-memory index."""
+        stats = StoreStats()
+        index: dict[tuple[str, str, str], PredictionResult] = {}
+        if self._records_dir.is_dir():
+            for record_file in sorted(self._records_dir.glob("??/*.json")):
+                loaded = self._read_record(record_file, stats)
+                if loaded is not None:
+                    key, backend, options_key, result = loaded
+                    index[(key, backend, options_key)] = result
+        with self._lock:
+            self._index = index
+            self.stats = stats
+        return stats
+
+    # -- internals ------------------------------------------------------------
+
+    def _record_path(self, key: str, backend: str, options_key: str) -> Path:
+        digest = hashlib.sha256(f"{backend}\n{options_key}\n{key}".encode()).hexdigest()
+        return self._records_dir / digest[:2] / f"{digest}.json"
+
+    @staticmethod
+    def _read_record(
+        path: Path, stats: StoreStats
+    ) -> tuple[str, str, str, PredictionResult] | None:
+        """Parse one record file; corruption and staleness are never fatal."""
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            stats.corrupt += 1
+            logger.warning("skipping corrupt store record %s: %s", path, exc)
+            return None
+        if not isinstance(record, dict) or any(
+            field not in record for field in _REQUIRED_FIELDS
+        ):
+            stats.corrupt += 1
+            logger.warning("skipping malformed store record %s", path)
+            return None
+        if (
+            record["format"] != STORE_FORMAT_VERSION
+            or record["spec_version"] != SCENARIO_SPEC_VERSION
+            or record["backend_version"] != backend_version(record["backend"])
+        ):
+            stats.stale += 1
+            logger.info("skipping stale store record %s (version mismatch)", path)
+            return None
+        try:
+            result = PredictionResult.from_dict(record["result"])
+        except Exception as exc:  # noqa: BLE001 — any decode failure is corruption
+            stats.corrupt += 1
+            logger.warning("skipping undecodable store record %s: %s", path, exc)
+            return None
+        stats.loaded += 1
+        return record["key"], record["backend"], record["options"], result

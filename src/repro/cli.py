@@ -11,6 +11,10 @@ main entry points of the library through the unified prediction API:
 * ``sweep``    — evaluate a :class:`~repro.api.ScenarioSuite` JSON file
   across backends;
 * ``simulate`` — run the YARN simulator and print per-job traces.
+
+``predict`` / ``compare`` / ``sweep`` / ``figure`` accept ``--store PATH``
+(persist results across runs through a :class:`~repro.api.ResultStore`) and
+``--execution {serial,thread,process}`` (suite fan-out strategy).
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from pathlib import Path
 
 from .analysis import ascii_series_plot, format_series_table
 from .api import (
+    EXECUTION_MODES,
     PredictionService,
     Scenario,
     ScenarioSuite,
@@ -32,6 +37,7 @@ from .api import (
 from .core.estimators import EstimatorKind
 from .exceptions import ReproError, ValidationError
 from .experiments.figures import FIGURE_DEFINITIONS, run_figure
+from .experiments.runner import POINT_BACKENDS
 from .hadoop.simulator import ClusterSimulator
 from .units import parse_size
 
@@ -63,6 +69,47 @@ def _add_scenario_arguments(
         )
 
 
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options configuring the shared prediction service (store + executor)."""
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent result-store directory; results are reused across runs",
+    )
+    parser.add_argument(
+        "--execution",
+        default="thread",
+        choices=EXECUTION_MODES,
+        help="suite fan-out strategy (process sidesteps the GIL for the simulator)",
+    )
+
+
+def _service_from_args(
+    args: argparse.Namespace,
+    backends: Sequence[str],
+    max_workers: int | None = None,
+) -> PredictionService:
+    return PredictionService(
+        backends=backends,
+        max_workers=max_workers,
+        store=args.store,
+        execution=args.execution,
+    )
+
+
+def _print_store_summary(args: argparse.Namespace, service: PredictionService) -> None:
+    """One stderr line saying how much work the persistent store saved."""
+    if args.store is None:
+        return
+    stats = service.stats()
+    print(
+        f"store {args.store}: {stats.store_hits} store hits, "
+        f"{stats.memory_hits} cache hits, {stats.evaluations} evaluated",
+        file=sys.stderr,
+    )
+
+
 def _scenario_from_args(args: argparse.Namespace) -> Scenario:
     return Scenario(
         workload=args.workload,
@@ -90,7 +137,13 @@ def _command_list(_: argparse.Namespace) -> int:
 
 
 def _command_figure(args: argparse.Namespace) -> int:
-    series = run_figure(args.figure_id, repetitions=args.repetitions, base_seed=args.seed)
+    service = _service_from_args(args, list(POINT_BACKENDS))
+    series = run_figure(
+        args.figure_id,
+        repetitions=args.repetitions,
+        base_seed=args.seed,
+        service=service,
+    )
     print(FIGURE_DEFINITIONS[args.figure_id].description)
     print(format_series_table(series.x_label, series.x_values, series.series()))
     if args.plot:
@@ -102,23 +155,25 @@ def _command_figure(args: argparse.Namespace) -> int:
             f"{kind.value}: mean |error| = {100 * sum(errors) / len(errors):.1f}%, "
             f"max |error| = {100 * max(errors):.1f}%"
         )
+    _print_store_summary(args, service)
     return 0
 
 
 def _command_predict(args: argparse.Namespace) -> int:
     scenario = _scenario_from_args(args)
     backends = args.backend or list(DEFAULT_PREDICT_BACKENDS)
-    service = PredictionService(backends=backends)
+    service = _service_from_args(args, backends)
+    results = service.evaluate_many(scenario, backends)
     for name in backends:
-        result = service.evaluate(scenario, name)
-        print(result.summary())
+        print(results[name].summary())
+    _print_store_summary(args, service)
     return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
     scenario = _scenario_from_args(args)
     backends = args.backend or backend_names()
-    service = PredictionService(backends=backends)
+    service = _service_from_args(args, backends)
     comparison = service.compare(scenario, backends, baseline=args.baseline)
     baseline = comparison.baseline_result()
     errors = comparison.relative_errors()
@@ -128,6 +183,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     for name in sorted(errors):
         total = comparison.results[name].total_seconds
         print(f"{name:<14} {total:>10.2f} {100 * errors[name]:>+11.1f}%")
+    _print_store_summary(args, service)
     return 0
 
 
@@ -141,10 +197,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
             raise ValidationError(f"cannot read suite file {args.suite!r}: {exc}") from exc
     suite = ScenarioSuite.from_json(text)
     backends = args.backend or list(DEFAULT_SWEEP_BACKENDS)
-    service = PredictionService(backends=backends, max_workers=args.max_workers)
+    service = _service_from_args(args, backends, max_workers=args.max_workers)
     suite_result = service.evaluate_suite(suite, backends)
     if args.json:
         print(json.dumps(suite_result.to_dict(), indent=2))
+        _print_store_summary(args, service)
         return 0
     print(f"suite: {suite.name} ({len(suite.scenarios)} scenarios)")
     header = f"{'scenario':<42}" + "".join(f"{name:>14}" for name in backends)
@@ -152,6 +209,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     for scenario, row in zip(suite.scenarios, suite_result.rows):
         cells = "".join(f"{row[name].total_seconds:>14.2f}" for name in backends)
         print(f"{scenario.describe():<42}{cells}")
+    _print_store_summary(args, service)
     return 0
 
 
@@ -194,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("--repetitions", type=int, default=3)
     figure_parser.add_argument("--seed", type=int, default=1234)
     figure_parser.add_argument("--plot", action="store_true", help="print an ASCII plot")
+    _add_service_arguments(figure_parser)
     figure_parser.set_defaults(handler=_command_figure)
 
     predict_parser = subparsers.add_parser(
@@ -206,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=backend_names(),
         help="backend to evaluate (repeatable; default: both MVA estimators)",
     )
+    _add_service_arguments(predict_parser)
     predict_parser.set_defaults(handler=_command_predict)
 
     compare_parser = subparsers.add_parser(
@@ -224,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=backend_names(),
         help="baseline backend the errors are measured against",
     )
+    _add_service_arguments(compare_parser)
     compare_parser.set_defaults(handler=_command_compare)
 
     sweep_parser = subparsers.add_parser(
@@ -244,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--json", action="store_true", help="print the full result grid as JSON"
     )
+    _add_service_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=_command_sweep)
 
     # simulate is one seeded raw run (per-job traces), so --repetitions —

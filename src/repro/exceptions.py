@@ -50,3 +50,7 @@ class ExperimentError(ReproError):
 
 class BackendError(ReproError):
     """Raised when a prediction backend is unknown or cannot run a scenario."""
+
+
+class StoreError(ReproError):
+    """Raised when a persistent result store cannot be opened or written."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..api import Scenario, ScenarioSuite
+from ..api import PredictionService, ResultStore, Scenario, ScenarioSuite
 from ..exceptions import ExperimentError
 from ..units import MiB, gigabytes, megabytes
 from .runner import DEFAULT_BASE_SEED, ExperimentSeries, run_suite_series
@@ -156,8 +156,17 @@ def run_figure(
     base_seed: int = DEFAULT_BASE_SEED,
     duration_cv: float = 0.3,
     num_reduces: int = DEFAULT_REDUCES,
+    store: ResultStore | str | None = None,
+    execution: str | None = None,
+    service: PredictionService | None = None,
 ) -> ExperimentSeries:
-    """Regenerate the series of one figure of the paper."""
+    """Regenerate the series of one figure of the paper.
+
+    ``store`` points the underlying service at a persistent result store, so
+    an interrupted figure run resumes from the completed points; ``execution``
+    picks the fan-out strategy (``"process"`` uses every core for the
+    simulator points).  An explicit ``service`` takes precedence over both.
+    """
     definition = figure_definition(figure_id)
     suite = figure_suite(
         figure_id,
@@ -166,4 +175,11 @@ def run_figure(
         duration_cv=duration_cv,
         num_reduces=num_reduces,
     )
-    return run_suite_series(suite, definition.x_label, definition.x_values())
+    return run_suite_series(
+        suite,
+        definition.x_label,
+        definition.x_values(),
+        service=service,
+        store=store,
+        execution=execution,
+    )

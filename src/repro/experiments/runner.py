@@ -21,7 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..analysis.errors import relative_error
-from ..api import WORKLOAD_PROFILES, PredictionService, Scenario, ScenarioSuite
+from ..api import (
+    WORKLOAD_PROFILES,
+    PredictionService,
+    ResultStore,
+    Scenario,
+    ScenarioSuite,
+)
 from ..config import ClusterConfig, SchedulerConfig
 from ..core.estimators import EstimatorKind
 from ..exceptions import ExperimentError
@@ -36,16 +42,28 @@ DEFAULT_BASE_SEED = 1234
 POINT_BACKENDS = ("simulator", "mva-forkjoin", "mva-tripathi")
 
 
-def _resolve_service(service: PredictionService | None) -> PredictionService:
+def _resolve_service(
+    service: PredictionService | None,
+    store: ResultStore | str | None = None,
+    execution: str | None = None,
+) -> PredictionService:
     """A caller-provided service, or a fresh one per run.
 
     Each run defaults to its own service so repeated runs (in particular the
     pytest-benchmark figure rounds) re-measure real work instead of hitting a
     process-global cache; within one run the cache still deduplicates
     overlapping sweep points.  Pass an explicit ``service`` to share the
-    cache across calls.
+    cache across calls, or ``store`` / ``execution`` to give the per-run
+    service a persistent result store (figure runs survive restarts) and an
+    execution mode (``"process"`` uses every core for the simulator points).
     """
-    return service or PredictionService(backends=list(POINT_BACKENDS))
+    if service is not None:
+        return service
+    return PredictionService(
+        backends=list(POINT_BACKENDS),
+        store=store,
+        execution=execution or "thread",
+    )
 
 
 @dataclass(frozen=True)
@@ -154,6 +172,7 @@ def simulate_measured_response(
     repetitions: int = DEFAULT_REPETITIONS,
     base_seed: int = DEFAULT_BASE_SEED,
     service: PredictionService | None = None,
+    store: ResultStore | str | None = None,
 ) -> float:
     """Median over repetitions of the mean job response time (the "measurement")."""
     if repetitions <= 0:
@@ -166,7 +185,11 @@ def simulate_measured_response(
         cluster=cluster,
         scheduler=scheduler,
     )
-    return _resolve_service(service).evaluate(scenario, "simulator").total_seconds
+    return (
+        _resolve_service(service, store=store)
+        .evaluate(scenario, "simulator")
+        .total_seconds
+    )
 
 
 def run_experiment_point(
@@ -177,6 +200,7 @@ def run_experiment_point(
     cluster: ClusterConfig | None = None,
     scheduler: SchedulerConfig | None = None,
     service: PredictionService | None = None,
+    store: ResultStore | str | None = None,
 ) -> ExperimentPoint:
     """Run the simulator and both model variants for one experiment point."""
     if repetitions <= 0:
@@ -189,7 +213,9 @@ def run_experiment_point(
         cluster=cluster,
         scheduler=scheduler,
     )
-    results = _resolve_service(service).evaluate_many(scenario, POINT_BACKENDS)
+    results = _resolve_service(service, store=store).evaluate_many(
+        scenario, POINT_BACKENDS
+    )
     return _point_from_results(scenario, results)
 
 
@@ -198,11 +224,15 @@ def run_suite_series(
     x_label: str,
     x_values: list[float],
     service: PredictionService | None = None,
+    store: ResultStore | str | None = None,
+    execution: str | None = None,
 ) -> ExperimentSeries:
     """Evaluate a scenario suite (aligned with ``x_values``) into a series."""
     if len(suite.scenarios) != len(x_values):
         raise ExperimentError("suite and x_values must align")
-    suite_result = _resolve_service(service).evaluate_suite(suite, POINT_BACKENDS)
+    suite_result = _resolve_service(service, store=store, execution=execution).evaluate_suite(
+        suite, POINT_BACKENDS
+    )
     series = ExperimentSeries(x_label=x_label, x_values=list(x_values))
     for scenario, row in zip(suite.scenarios, suite_result.rows):
         series.points.append(_point_from_results(scenario, row))
@@ -217,6 +247,8 @@ def run_series(
     repetitions: int = DEFAULT_REPETITIONS,
     base_seed: int = DEFAULT_BASE_SEED,
     service: PredictionService | None = None,
+    store: ResultStore | str | None = None,
+    execution: str | None = None,
 ) -> ExperimentSeries:
     """Run a sweep; ``workloads`` and ``node_counts`` are aligned with ``x_values``."""
     if not (len(workloads) == len(node_counts) == len(x_values)):
@@ -230,4 +262,6 @@ def run_series(
             for workload, num_nodes in zip(workloads, node_counts)
         ),
     )
-    return run_suite_series(suite, x_label, x_values, service=service)
+    return run_suite_series(
+        suite, x_label, x_values, service=service, store=store, execution=execution
+    )

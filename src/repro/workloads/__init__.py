@@ -19,6 +19,7 @@ from .profiles import ApplicationProfile, model_input_from_profile, model_input_
 from .wordcount import wordcount_profile
 from .terasort import terasort_profile
 from .grep import grep_profile
+from .iterative import iterative_profile
 from .generators import WorkloadSpec, generate_concurrent_jobs, paper_cluster, paper_scheduler
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "wordcount_profile",
     "terasort_profile",
     "grep_profile",
+    "iterative_profile",
     "WorkloadSpec",
     "generate_concurrent_jobs",
     "paper_cluster",

@@ -113,6 +113,50 @@ class TestSweep:
         assert main(["sweep", "--suite", str(tmp_path / "absent.json")]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_sweep_with_store_reuses_results_across_runs(self, tmp_path, capsys):
+        suite = ScenarioSuite.from_sweep(
+            "cli-sweep-store",
+            Scenario(input_size_bytes=megabytes(256), num_reduces=2, repetitions=1),
+            num_nodes=[2, 3],
+        )
+        suite_path = tmp_path / "suite.json"
+        suite_path.write_text(suite.to_json())
+        store_path = str(tmp_path / "store")
+        args = [
+            "sweep", "--suite", str(suite_path),
+            "--backend", "simulator", "--store", store_path,
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "0 store hits" in cold.err and "2 evaluated" in cold.err
+        # Second run (a fresh process in real life): answered entirely from disk.
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert "2 store hits" in warm.err and "0 evaluated" in warm.err
+        assert warm.out == cold.out
+
+    def test_sweep_execution_process_matches_thread(self, tmp_path, capsys):
+        suite = ScenarioSuite.from_sweep(
+            "cli-sweep-exec",
+            Scenario(input_size_bytes=megabytes(256), num_reduces=2, repetitions=1),
+            num_nodes=[2, 3],
+        )
+        suite_path = tmp_path / "suite.json"
+        suite_path.write_text(suite.to_json())
+        outputs = {}
+        for mode in ("thread", "process"):
+            assert main(
+                ["sweep", "--suite", str(suite_path), "--backend", "simulator",
+                 "--execution", mode]
+            ) == 0
+            outputs[mode] = capsys.readouterr().out
+        assert outputs["process"] == outputs["thread"]
+
+    def test_unknown_execution_mode_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", "--execution", "warp"])
+        assert excinfo.value.code == 2
+
 
 class TestSimulate:
     def test_simulate_prints_traces_and_summary(self, capsys):
@@ -130,3 +174,16 @@ class TestFigure:
         output = capsys.readouterr().out
         assert "HadoopSetup" in output
         assert "fork-join" in output and "tripathi" in output
+
+    def test_figure_with_store_reuses_results_across_runs(self, tmp_path, capsys):
+        args = [
+            "figure", "figure10", "--repetitions", "1", "--seed", "3",
+            "--store", str(tmp_path / "store"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "9 evaluated" in cold.err  # 3 points x 3 backends
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert "9 store hits" in warm.err and "0 evaluated" in warm.err
+        assert warm.out == cold.out

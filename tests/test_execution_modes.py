@@ -1,0 +1,183 @@
+"""Execution-layer tests for :class:`repro.api.PredictionService`.
+
+Paper-reproduction invariant: a (scenario, backend) evaluation is a pure
+function of the scenario, so the fan-out strategy must never change the
+numbers.  These tests pin serial / thread / process equivalence for every
+registered backend, the graceful fallback when process pools are
+unavailable, and the backend-construction race fix.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    EXECUTION_MODES,
+    PredictionService,
+    Scenario,
+    ScenarioSuite,
+    backend_is_cpu_bound,
+    backend_names,
+)
+from repro.api import service as service_module
+from repro.api.backends import _REGISTRY
+from repro.api.results import PredictionResult
+from repro.exceptions import ValidationError
+from repro.units import megabytes
+
+#: Small, fast scenario shared by the execution tests.
+SMALL = Scenario(
+    workload="wordcount",
+    input_size_bytes=megabytes(256),
+    num_nodes=2,
+    num_reduces=2,
+    repetitions=1,
+    seed=31,
+)
+
+#: Two-point suite: enough to exercise real fan-out, cheap enough for CI.
+SUITE = ScenarioSuite.from_sweep("exec", SMALL, num_nodes=[2, 3])
+
+
+def _suite_dicts(result) -> list[dict]:
+    return [
+        {name: row[name].to_dict() for name in result.backends} for row in result.rows
+    ]
+
+
+class TestExecutionModeEquivalence:
+    @pytest.mark.parametrize("backend", backend_names())
+    def test_backend_identical_across_modes(self, backend):
+        reference = None
+        for mode in EXECUTION_MODES:
+            service = PredictionService(backends=[backend], execution=mode)
+            result = service.evaluate_suite(SUITE, [backend])
+            payload = _suite_dicts(result)
+            if reference is None:
+                reference = payload
+            else:
+                assert payload == reference, f"{backend} differs under {mode}"
+
+    def test_simulator_is_marked_cpu_bound(self):
+        assert backend_is_cpu_bound("simulator")
+        assert not backend_is_cpu_bound("mva-forkjoin")
+        assert not backend_is_cpu_bound("no-such-backend")
+
+    def test_process_mode_counts_evaluations_once(self):
+        service = PredictionService(backends=["simulator"], execution="process")
+        first = service.evaluate_suite(SUITE, ["simulator"])
+        second = service.evaluate_suite(SUITE, ["simulator"])
+        assert first.series("simulator") == second.series("simulator")
+        stats = service.stats()
+        assert stats.evaluations == 2
+        assert stats.memory_hits == 2
+
+    def test_invalid_execution_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            PredictionService(execution="gpu")
+
+
+class TestProcessFallback:
+    def test_unavailable_process_pool_falls_back_to_threads(self, monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no subprocesses in this sandbox")
+
+        monkeypatch.setattr(service_module, "ProcessPoolExecutor", broken_pool)
+        service = PredictionService(backends=["simulator"], execution="process")
+        result = service.evaluate_suite(SUITE, ["simulator"])
+        reference = PredictionService(
+            backends=["simulator"], execution="serial"
+        ).evaluate_suite(SUITE, ["simulator"])
+        assert result.series("simulator") == reference.series("simulator")
+        assert service.stats().evaluations == 2
+
+    def test_broken_submission_falls_back_in_process(self, monkeypatch):
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def submit(self, *args, **kwargs):
+                raise OSError("fork failed")
+
+            def shutdown(self, *args, **kwargs):
+                pass
+
+        monkeypatch.setattr(service_module, "ProcessPoolExecutor", BrokenPool)
+        service = PredictionService(backends=["simulator"], execution="process")
+        result = service.evaluate_suite(SUITE, ["simulator"])
+        reference = PredictionService(
+            backends=["simulator"], execution="serial"
+        ).evaluate_suite(SUITE, ["simulator"])
+        assert result.series("simulator") == reference.series("simulator")
+
+    def test_worker_registry_miss_falls_back_in_process(self, monkeypatch):
+        """A spawn-mode worker lacking a runtime registration must not kill the sweep."""
+
+        class RegistryMissFuture:
+            def result(self):
+                raise ValidationError("unknown workload 'runtime-registered'")
+
+        class RegistryMissPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def submit(self, *args, **kwargs):
+                return RegistryMissFuture()
+
+            def shutdown(self, *args, **kwargs):
+                pass
+
+        monkeypatch.setattr(service_module, "ProcessPoolExecutor", RegistryMissPool)
+        service = PredictionService(backends=["simulator"], execution="process")
+        result = service.evaluate_suite(SUITE, ["simulator"])
+        reference = PredictionService(
+            backends=["simulator"], execution="serial"
+        ).evaluate_suite(SUITE, ["simulator"])
+        assert result.series("simulator") == reference.series("simulator")
+
+
+class TestBackendConstructionRace:
+    def test_unconfigured_backend_constructed_exactly_once(self):
+        class SlowBackend:
+            constructions = 0
+            construction_lock = threading.Lock()
+
+            def __init__(self):
+                with SlowBackend.construction_lock:
+                    SlowBackend.constructions += 1
+                # Widen the race window: without the service-side lock, every
+                # waiting thread would construct its own instance here.
+                time.sleep(0.02)
+
+            def predict(self, scenario):
+                return PredictionResult(
+                    backend="slow-stub", scenario=scenario, total_seconds=1.0
+                )
+
+        SlowBackend.name = "slow-stub"
+        _REGISTRY["slow-stub"] = SlowBackend
+        try:
+            # The backend is deliberately NOT in the configured set.
+            service = PredictionService(backends=["aria"])
+            barrier = threading.Barrier(8)
+            errors: list[BaseException] = []
+
+            def hammer():
+                try:
+                    barrier.wait()
+                    service.evaluate(SMALL, "slow-stub")
+                except BaseException as exc:  # noqa: BLE001 — surfaced below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert SlowBackend.constructions == 1
+        finally:
+            _REGISTRY.pop("slow-stub", None)

@@ -1,0 +1,274 @@
+"""Durability tests for the persistent result store (:mod:`repro.api.store`).
+
+Covers the hard guarantees the store makes: round-trips across service
+restarts, zero backend re-evaluations on a warm store, safe concurrent
+writers on one store path, recovery from hand-corrupted record files, and
+version-based invalidation.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.api import (
+    PredictionService,
+    ResultStore,
+    Scenario,
+    ScenarioSuite,
+    create_backend,
+)
+from repro.api.backends import _REGISTRY
+from repro.api.store import STORE_FORMAT_VERSION
+from repro.exceptions import StoreError
+from repro.units import megabytes
+
+#: Small, fast scenario shared by the store tests.
+SMALL = Scenario(
+    workload="wordcount",
+    input_size_bytes=megabytes(256),
+    num_nodes=2,
+    num_reduces=2,
+    repetitions=1,
+    seed=21,
+)
+
+
+@pytest.fixture
+def temporary_backend():
+    """Register a throwaway backend class and unregister it afterwards."""
+    registered: list[str] = []
+
+    def register(name: str, cls: type) -> type:
+        cls.name = name
+        _REGISTRY[name] = cls
+        registered.append(name)
+        return cls
+
+    try:
+        yield register
+    finally:
+        for name in registered:
+            _REGISTRY.pop(name, None)
+
+
+def _counting_backend_class():
+    """A stub backend whose predictions are cheap and counted."""
+    from repro.api.results import PredictionResult
+
+    class CountingBackend:
+        calls = 0
+
+        def predict(self, scenario):
+            type(self).calls += 1
+            return PredictionResult(
+                backend=type(self).name,
+                scenario=scenario,
+                total_seconds=float(scenario.num_nodes),
+                phases={"map": 1.0},
+                metadata={"call": type(self).calls},
+            )
+
+    return CountingBackend
+
+
+def _record_files(store: ResultStore) -> list:
+    return sorted((store.path / "records").glob("??/*.json"))
+
+
+class TestResultStore:
+    def test_put_get_roundtrip_and_restart(self, tmp_path):
+        result = create_backend("aria").predict(SMALL)
+        store = ResultStore(tmp_path / "store")
+        store.put(SMALL.cache_key(), "aria", result)
+        assert store.get(SMALL.cache_key(), "aria") == result
+        # A brand-new store on the same path (a "restarted process") sees it —
+        # first through a lazy get() probe, then through a full scan.
+        reopened = ResultStore(tmp_path / "store")
+        assert reopened.get(SMALL.cache_key(), "aria") == result
+        assert len(reopened) == 1
+        assert reopened.refresh().loaded == 1
+
+    def test_get_misses_are_none(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.get(SMALL.cache_key(), "aria") is None
+
+    def test_store_path_must_be_directory(self, tmp_path):
+        bogus = tmp_path / "file"
+        bogus.write_text("not a directory")
+        with pytest.raises(StoreError):
+            ResultStore(bogus)
+
+    def test_cross_process_visibility_without_refresh(self, tmp_path):
+        """A record written through one store object is visible to another."""
+        writer = ResultStore(tmp_path / "store")
+        reader = ResultStore(tmp_path / "store")  # opened while still empty
+        result = create_backend("aria").predict(SMALL)
+        writer.put(SMALL.cache_key(), "aria", result)
+        assert reader.get(SMALL.cache_key(), "aria") == result
+
+
+class TestServiceWithStore:
+    def test_sweep_rerun_performs_zero_backend_evaluations(
+        self, tmp_path, temporary_backend
+    ):
+        counting = temporary_backend("counting-stub", _counting_backend_class())
+        suite = ScenarioSuite.from_sweep("grid", SMALL, num_nodes=[2, 3, 4])
+        first = PredictionService(backends=["counting-stub"], store=tmp_path / "store")
+        cold = first.evaluate_suite(suite, ["counting-stub"])
+        assert counting.calls == 3
+        assert first.stats().evaluations == 3
+        # A fresh service on the same path — the "restarted sweep" — answers
+        # entirely from disk: zero backend evaluations.
+        second = PredictionService(backends=["counting-stub"], store=tmp_path / "store")
+        warm = second.evaluate_suite(suite, ["counting-stub"])
+        assert counting.calls == 3
+        assert second.stats().evaluations == 0
+        assert second.stats().store_hits == 3
+        assert warm.series("counting-stub") == cold.series("counting-stub")
+
+    def test_backend_options_partition_the_store(self, tmp_path):
+        """Records of differently configured backends must never be shared."""
+        store_path = tmp_path / "store"
+        four_slots = PredictionService(
+            backends=["vianna"],
+            backend_options={"vianna": {"map_slots_per_node": 4}},
+            store=store_path,
+        )
+        configured = four_slots.evaluate(SMALL, "vianna")
+        assert configured.metadata["map_slots_per_node"] == 4
+        # Default configuration, same store: a miss, not a silent wrong hit.
+        defaults = PredictionService(backends=["vianna"], store=store_path)
+        default_result = defaults.evaluate(SMALL, "vianna")
+        assert defaults.stats().store_hits == 0
+        assert defaults.stats().evaluations == 1
+        assert default_result.metadata["map_slots_per_node"] == 2
+        # Each configuration is warm for its own options.
+        rerun = PredictionService(
+            backends=["vianna"],
+            backend_options={"vianna": {"map_slots_per_node": 4}},
+            store=store_path,
+        )
+        assert rerun.evaluate(SMALL, "vianna") == configured
+        assert rerun.stats().store_hits == 1
+
+    def test_store_survives_cache_clear(self, tmp_path):
+        service = PredictionService(backends=["aria"], store=tmp_path / "store")
+        first = service.evaluate(SMALL, "aria")
+        service.clear_cache()
+        assert service.evaluate(SMALL, "aria") == first
+        assert service.stats().store_hits == 1
+        assert service.stats().evaluations == 1
+
+    def test_concurrent_writers_on_one_store_path(self, tmp_path, temporary_backend):
+        counting = temporary_backend("counting-stub", _counting_backend_class())
+        scenarios = [SMALL.with_updates(num_nodes=nodes) for nodes in (2, 3, 4, 5)]
+        services = [
+            PredictionService(backends=["counting-stub"], store=tmp_path / "store")
+            for _ in range(2)
+        ]
+        errors: list[BaseException] = []
+
+        def write(service: PredictionService) -> None:
+            try:
+                for scenario in scenarios:
+                    service.evaluate(scenario, "counting-stub")
+            except BaseException as exc:  # noqa: BLE001 — surfaced via the list
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(service,)) for service in services
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Both writers may have computed a point, but the store converged to
+        # exactly one readable record per point.
+        merged = ResultStore(tmp_path / "store")
+        scan = merged.refresh()
+        assert scan.loaded == len(scenarios)
+        assert scan.corrupt == 0
+        assert len(merged) == len(scenarios)
+        for scenario in scenarios:
+            stored = merged.get(scenario.cache_key(), "counting-stub")
+            assert stored.total_seconds == float(scenario.num_nodes)
+        assert counting.calls >= len(scenarios)
+
+    def test_corrupted_records_are_skipped_and_healed(self, tmp_path, caplog):
+        store_path = tmp_path / "store"
+        service = PredictionService(backends=["aria"], store=store_path)
+        scenarios = [SMALL.with_updates(num_nodes=nodes) for nodes in (2, 3, 4)]
+        originals = [service.evaluate(scenario, "aria") for scenario in scenarios]
+        files = _record_files(service.store)
+        assert len(files) == 3
+        # Hand-corrupt two of the three records: garbage and truncation.
+        files[0].write_text("{garbled json!!")
+        files[1].write_text(files[1].read_text()[: len(files[1].read_text()) // 2])
+        with caplog.at_level(logging.WARNING, logger="repro.api.store"):
+            scan = ResultStore(store_path).refresh()
+        assert scan.loaded == 1
+        assert scan.corrupt == 2
+        assert any("corrupt" in record.message for record in caplog.records)
+        # A fresh service recomputes the lost points and heals the store.
+        healed = PredictionService(backends=["aria"], store=store_path)
+        for scenario, original in zip(scenarios, originals):
+            assert healed.evaluate(scenario, "aria") == original
+        assert healed.stats().evaluations == 2
+        assert ResultStore(store_path).refresh().loaded == 3
+
+    def test_unwritable_store_degrades_to_memory_cache(self, tmp_path, monkeypatch):
+        service = PredictionService(backends=["aria"], store=tmp_path / "store")
+
+        def failing_put(key, backend, result, options=None):
+            raise StoreError("disk full")
+
+        monkeypatch.setattr(service.store, "put", failing_put)
+        first = service.evaluate(SMALL, "aria")
+        assert service.evaluate(SMALL, "aria") is first  # memory cache still works
+        assert ResultStore(tmp_path / "store").refresh().loaded == 0
+
+
+class TestVersioning:
+    def _write_one_record(self, store_path) -> tuple[str, list]:
+        service = PredictionService(backends=["aria"], store=store_path)
+        service.evaluate(SMALL, "aria")
+        return SMALL.cache_key(), _record_files(service.store)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("format", STORE_FORMAT_VERSION + 1),
+            ("spec_version", 999),
+            ("backend_version", 999),
+        ],
+    )
+    def test_version_mismatch_invalidates_record(self, tmp_path, field, value):
+        key, files = self._write_one_record(tmp_path / "store")
+        record = json.loads(files[0].read_text())
+        record[field] = value
+        files[0].write_text(json.dumps(record))
+        reopened = ResultStore(tmp_path / "store")
+        scan = reopened.refresh()
+        assert scan.stale == 1
+        assert scan.loaded == 0
+        assert reopened.get(key, "aria") is None
+
+    def test_unregistered_backend_records_are_stale(self, tmp_path, temporary_backend):
+        temporary_backend("counting-stub", _counting_backend_class())
+        service = PredictionService(backends=["counting-stub"], store=tmp_path / "store")
+        service.evaluate(SMALL, "counting-stub")
+        # After the backend disappears from the registry (fixture teardown
+        # simulated by popping early), its records cannot be validated.
+        _REGISTRY.pop("counting-stub")
+        try:
+            reopened = ResultStore(tmp_path / "store")
+            assert reopened.refresh().stale == 1
+            assert reopened.get(SMALL.cache_key(), "counting-stub") is None
+        finally:
+            # Fixture teardown pops again harmlessly.
+            pass
