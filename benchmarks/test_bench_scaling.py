@@ -9,8 +9,11 @@ compared across PRs by grepping CI logs.
 It also tracks the prediction-service scaling path: a 32-node multi-scenario
 suite under thread vs. process execution (the speedup line the ROADMAP's
 process-pool item asks for), a store-backed cold/warm restart (the warm run
-must perform zero backend evaluations), and an iterative-ML comparison across
-all six backends.
+must perform zero backend evaluations), an iterative-ML comparison across
+all six backends, and the batched-sweep engine: per-scenario vs. one-call
+``predict_batch`` throughput over a dense static-backend grid, MVA grid
+warm-starting (fewer A2–A6 iterations, same totals), and scheduler-driven
+cold vs. warm sweep throughput.
 
 Set ``BENCH_SMOKE=1`` to run only the smallest scenario (used by CI on every
 push, where timing noise makes the larger scenarios uninformative).
@@ -29,8 +32,11 @@ import os
 import tempfile
 import time
 
-from repro.api import PredictionService, Scenario, ScenarioSuite
+import pytest
+
+from repro.api import PredictionService, Scenario, ScenarioSuite, SweepScheduler, create_backend
 from repro.core import EstimatorKind, Hadoop2PerformanceModel
+from repro.core.mva_solver import DEFAULT_EPSILON
 from repro.units import gigabytes, megabytes
 from repro.workloads import (
     model_input_from_profile,
@@ -231,6 +237,162 @@ def test_bench_iterative_compare():
     _emit(record)
     assert all(total > 0 for total in record["totals"].values())
     assert len(record["totals"]) == 6
+
+
+#: The three static backends of the batched-sweep benches.
+STATIC_BACKENDS = ["aria", "herodotou", "vianna"]
+
+
+def _static_sweep_suite() -> ScenarioSuite:
+    """Dense static-backend grid: ≥200 scenarios in full mode, 6 in smoke."""
+    base = Scenario(workload="wordcount", num_reduces=16, repetitions=1, seed=BENCH_SEED)
+    if _smoke_mode():
+        return ScenarioSuite.from_sweep(
+            "batched-sweep",
+            base,
+            num_nodes=[4, 8],
+            input_size_bytes=[gigabytes(2), gigabytes(4), gigabytes(6)],
+        )
+    return ScenarioSuite.from_sweep(
+        "batched-sweep",
+        base,
+        num_nodes=[4, 6, 8, 12, 16, 24, 32, 48],
+        input_size_bytes=[gigabytes(g) for g in range(2, 28)],
+    )
+
+
+def test_bench_batched_sweep():
+    """Per-scenario vs. batched evaluation of the static-backend grid.
+
+    The batched path must beat the per-scenario path by ≥5x on a ≥200-point
+    grid (asserted loosely as a wall-clock ratio in full mode only; smoke
+    grids are too small for the ratio to be meaningful) while producing the
+    same numbers.
+    """
+    suite = _static_sweep_suite()
+    started = time.perf_counter()
+    scalar = PredictionService(backends=STATIC_BACKENDS, batch=False).evaluate_suite(
+        suite, STATIC_BACKENDS
+    )
+    scalar_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    batched_service = PredictionService(backends=STATIC_BACKENDS)
+    batched = batched_service.evaluate_suite(suite, STATIC_BACKENDS)
+    batched_seconds = time.perf_counter() - started
+    speedup = scalar_seconds / batched_seconds if batched_seconds > 0 else 0.0
+    record = {
+        "bench": "batched_sweep",
+        "scenarios": len(suite),
+        "points": len(suite) * len(STATIC_BACKENDS),
+        "scalar_seconds": scalar_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": speedup,
+        "batch_calls": batched_service.stats().batch_calls,
+    }
+    print()
+    _emit(record)
+    for name in STATIC_BACKENDS:
+        # abs term: warm-started vianna may sit up to ~10*epsilon from the
+        # cold fixed point (same bound as the mva_warm_start bench).
+        for scalar_value, batched_value in zip(scalar.series(name), batched.series(name)):
+            assert batched_value == pytest.approx(
+                scalar_value, rel=1e-9, abs=10 * DEFAULT_EPSILON
+            )
+    assert record["batch_calls"] == len(STATIC_BACKENDS)
+    if not _smoke_mode():
+        assert speedup >= 5.0, (
+            f"batched sweep speedup {speedup:.1f}x below the 5x floor "
+            f"({scalar_seconds:.2f}s scalar vs {batched_seconds:.2f}s batched)"
+        )
+
+
+def test_bench_mva_warm_start():
+    """Grid-ordered MVA warm starts: fewer A2–A6 iterations, same totals."""
+    base = Scenario(workload="wordcount", num_reduces=8, num_jobs=2, repetitions=1, seed=BENCH_SEED)
+    sizes = [1, 2, 3, 4, 6, 8, 12, 16] if not _smoke_mode() else [1, 2, 3, 4]
+    nodes = [2, 3, 4, 6] if not _smoke_mode() else [2, 3]
+    grid = [
+        base.with_updates(num_nodes=node_count, input_size_bytes=size * megabytes(256))
+        for node_count in nodes
+        for size in sizes
+    ]
+    record = {"bench": "mva_warm_start", "points": len(grid)}
+    print()
+    for name in ("mva-forkjoin", "mva-tripathi"):
+        backend = create_backend(name)
+        started = time.perf_counter()
+        cold = [backend.predict(scenario) for scenario in grid]
+        cold_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        warm = backend.predict_batch(grid)
+        warm_seconds = time.perf_counter() - started
+        cold_iterations = sum(result.metadata["iterations"] for result in cold)
+        warm_iterations = sum(result.metadata["iterations"] for result in warm)
+        max_diff = max(
+            abs(cold_result.total_seconds - warm_result.total_seconds)
+            for cold_result, warm_result in zip(cold, warm)
+        )
+        record[name] = {
+            "cold_iterations": cold_iterations,
+            "warm_iterations": warm_iterations,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "max_abs_diff": max_diff,
+        }
+        # Warm starts must converge to the cold-start fixed point.  Epsilon
+        # bounds the *successive-iterate* delta, not the distance between two
+        # independently converged runs (each can sit ~delta/(1-rate) from the
+        # true fixed point), so the guard allows a small multiple; measured
+        # drift on this grid is ~8e-9, well inside one epsilon.
+        assert max_diff <= 10 * DEFAULT_EPSILON, (
+            f"{name}: warm-start totals drifted {max_diff:.2e}s from cold starts"
+        )
+        # ...in strictly fewer total iterations over the grid.
+        assert warm_iterations < cold_iterations, (
+            f"{name}: warm starts took {warm_iterations} iterations "
+            f"vs {cold_iterations} cold"
+        )
+    _emit(record)
+
+
+def test_bench_sweep_scheduler():
+    """Scheduler-driven sweep: cold store vs. warm (resumed) re-run."""
+    suite = _static_sweep_suite()
+    if not _smoke_mode():
+        # The cold-vs-warm contrast doesn't need the full 200-point grid.
+        suite = ScenarioSuite("sweep-sched", suite.scenarios[::4])
+    with tempfile.TemporaryDirectory() as store_path:
+        cold_scheduler = SweepScheduler(
+            PredictionService(backends=STATIC_BACKENDS, store=store_path)
+        )
+        started = time.perf_counter()
+        cold = cold_scheduler.run(suite, STATIC_BACKENDS)
+        cold_seconds = time.perf_counter() - started
+        warm_scheduler = SweepScheduler(
+            PredictionService(backends=STATIC_BACKENDS, store=store_path)
+        )
+        started = time.perf_counter()
+        warm = warm_scheduler.run(suite, STATIC_BACKENDS)
+        warm_seconds = time.perf_counter() - started
+    points = len(suite) * len(STATIC_BACKENDS)
+    record = {
+        "bench": "sweep_scheduler",
+        "points": points,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_missing": len(cold.plan.missing),
+        "warm_missing": len(warm.plan.missing),
+        "cold_evaluations": cold.evaluated_points,
+        "warm_evaluations": warm.evaluated_points,
+        "cold_points_per_second": points / cold_seconds if cold_seconds > 0 else 0.0,
+        "warm_points_per_second": points / warm_seconds if warm_seconds > 0 else 0.0,
+    }
+    print()
+    _emit(record)
+    assert record["cold_missing"] == points
+    assert record["warm_missing"] == 0, "warm plan still reports missing points"
+    assert record["warm_evaluations"] == 0, "warm scheduler re-evaluated a point"
+    assert warm.result.series("vianna") == cold.result.series("vianna")
 
 
 def test_bench_overlap_mva_solve():

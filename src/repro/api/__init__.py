@@ -11,10 +11,12 @@ prediction engines:
 * :class:`PredictionResult` — the uniform answer shape (total seconds,
   per-phase breakdown, metadata);
 * :class:`PredictionService` — batch evaluation of suites across backends
-  with keyed result caching and serial / thread-pool / process-pool
-  execution modes;
+  with keyed result caching, serial / thread-pool / process-pool execution
+  modes, and one-call ``predict_batch`` dispatch to batch-capable backends;
 * :class:`ResultStore` — a persistent, crash-tolerant result store keyed by
-  ``(Scenario.cache_key(), backend)``, so sweeps survive process restarts.
+  ``(Scenario.cache_key(), backend)``, so sweeps survive process restarts;
+* :class:`SweepScheduler` — store-aware sweep planning: compute the missing
+  points of a target grid, execute only those, resume interrupted sweeps.
 
 Quick example::
 
@@ -30,6 +32,7 @@ from .backends import (
     PredictionBackend,
     backend_is_cpu_bound,
     backend_names,
+    backend_supports_batch,
     backend_version,
     create_backend,
     register_backend,
@@ -50,6 +53,7 @@ from .service import (
     SuiteResult,
 )
 from .store import STORE_FORMAT_VERSION, ResultStore, StoreStats
+from .sweep import SweepOutcome, SweepPlan, SweepScheduler
 
 __all__ = [
     "BackendComparison",
@@ -66,9 +70,13 @@ __all__ = [
     "ServiceStats",
     "StoreStats",
     "SuiteResult",
+    "SweepOutcome",
+    "SweepPlan",
+    "SweepScheduler",
     "WORKLOAD_PROFILES",
     "backend_is_cpu_bound",
     "backend_names",
+    "backend_supports_batch",
     "backend_version",
     "create_backend",
     "register_backend",

@@ -39,6 +39,7 @@ from .backends import (
     PredictionBackend,
     backend_is_cpu_bound,
     backend_names,
+    backend_supports_batch,
     create_backend,
 )
 from .results import BackendComparison, PredictionResult
@@ -75,6 +76,11 @@ class ServiceStats:
     store_hits: int = 0
     #: Actual backend evaluations (cache and store both missed).
     evaluations: int = 0
+    #: ``predict_batch`` dispatches performed by suite evaluation.
+    batch_calls: int = 0
+    #: Scenarios evaluated through those batch dispatches (each also counts
+    #: as one evaluation in :attr:`evaluations`).
+    batch_points: int = 0
 
 
 @dataclass(frozen=True)
@@ -117,6 +123,7 @@ class PredictionService:
         backend_options: dict[str, dict] | None = None,
         store: ResultStore | str | os.PathLike | None = None,
         execution: str = "thread",
+        batch: bool = True,
     ) -> None:
         if execution not in EXECUTION_MODES:
             raise ValidationError(
@@ -133,12 +140,21 @@ class PredictionService:
         self._cache: dict[tuple[str, str], PredictionResult] = {}
         self._lock = threading.Lock()
         self._execution = execution
+        #: Dispatch suite misses to batch-capable backends in one
+        #: ``predict_batch`` call.  ``batch=False`` forces the per-scenario
+        #: path (the benches use it as the batching baseline).
+        self._batch_enabled = batch
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
         self._store = store
+        # All counters below are read and written ONLY under ``self._lock``;
+        # thread- and process-mode sweeps bump them from pool threads, so an
+        # unlocked increment would drop updates.
         self._memory_hits = 0
         self._store_hits = 0
         self._evaluations = 0
+        self._batch_calls = 0
+        self._batch_points = 0
 
     # -- introspection --------------------------------------------------------
 
@@ -157,13 +173,20 @@ class PredictionService:
         """The persistent result store, if one is attached."""
         return self._store
 
+    @property
+    def batch_enabled(self) -> bool:
+        """Whether suite evaluation dispatches to ``predict_batch`` backends."""
+        return self._batch_enabled
+
     def stats(self) -> ServiceStats:
-        """Snapshot of cache-hit / store-hit / evaluation counters."""
+        """Snapshot of cache-hit / store-hit / evaluation / batch counters."""
         with self._lock:
             return ServiceStats(
                 memory_hits=self._memory_hits,
                 store_hits=self._store_hits,
                 evaluations=self._evaluations,
+                batch_calls=self._batch_calls,
+                batch_points=self._batch_points,
             )
 
     def cache_size(self) -> int:
@@ -284,8 +307,13 @@ class PredictionService:
     ) -> SuiteResult:
         """Evaluate every (scenario, backend) pair of a suite.
 
-        Duplicate sweep points share one evaluation; the fan-out strategy is
-        the service's ``execution`` mode.
+        Duplicate sweep points share one evaluation.  The unique points are
+        partitioned into memory hits, store hits (bulk-probed through
+        :meth:`ResultStore.get_many`), and misses; misses of batch-capable
+        backends are grouped per backend and dispatched in one
+        ``predict_batch`` call, the rest fan out per the service's
+        ``execution`` mode.  The partition is independent of the execution
+        mode, so serial/thread/process sweeps stay numerically identical.
         """
         names = tuple(backends) if backends is not None else tuple(self.backends())
         keys = [scenario.cache_key() for scenario in suite.scenarios]
@@ -293,12 +321,119 @@ class PredictionService:
         for index, scenario in enumerate(suite.scenarios):
             for name in names:
                 unique.setdefault((keys[index], name), scenario)
-        results = self._evaluate_unique(unique)
+        results = self._evaluate_points(unique)
         rows = tuple(
             {name: results[(keys[index], name)] for name in names}
             for index in range(len(suite.scenarios))
         )
         return SuiteResult(suite=suite, backends=names, rows=rows)
+
+    # -- point partitioning ---------------------------------------------------
+
+    def probe_points(
+        self, points: Sequence[tuple[str, str]]
+    ) -> dict[tuple[str, str], str]:
+        """Peek which ``(cache key, backend)`` points are already answered.
+
+        Returns ``point -> "memory" | "store"`` for every answered point
+        (one cache pass, one bulk store probe); unanswered points are
+        absent.  Unlike :meth:`evaluate`, this never counts hits in
+        :meth:`stats` — it exists for planners
+        (:class:`~repro.api.sweep.SweepScheduler`) that want to know what a
+        sweep would cost before running it.  Store records found here stay
+        loaded in the store's index, so the subsequent evaluation pays no
+        second disk read for them.
+        """
+        sources: dict[tuple[str, str], str] = {}
+        misses: list[tuple[str, str]] = []
+        with self._lock:
+            for point in points:
+                if self._cache_enabled and point in self._cache:
+                    sources[point] = "memory"
+                else:
+                    misses.append(point)
+        if self._store is not None and misses:
+            stored = self._store.get_many(
+                [
+                    (key, backend, self._backend_options.get(backend, {}))
+                    for key, backend in misses
+                ]
+            )
+            for point in stored:
+                sources[point] = "store"
+        return sources
+
+    def _evaluate_points(
+        self, unique: dict[tuple[str, str], Scenario]
+    ) -> dict[tuple[str, str], PredictionResult]:
+        """Partition unique points into hits / batch groups / scalar tasks."""
+        results: dict[tuple[str, str], PredictionResult] = {}
+        misses: dict[tuple[str, str], Scenario] = {}
+        with self._lock:
+            for point, scenario in unique.items():
+                hit = self._cache.get(point) if self._cache_enabled else None
+                if hit is not None:
+                    self._memory_hits += 1
+                    results[point] = hit
+                else:
+                    misses[point] = scenario
+        if self._store is not None and misses:
+            stored = self._store.get_many(
+                [
+                    (key, backend, self._backend_options.get(backend, {}))
+                    for key, backend in misses
+                ]
+            )
+            if stored:
+                with self._lock:
+                    for point, result in stored.items():
+                        self._store_hits += 1
+                        if self._cache_enabled:
+                            self._cache[point] = result
+                        results[point] = result
+                for point in stored:
+                    misses.pop(point)
+        batch_groups: dict[str, list[tuple[tuple[str, str], Scenario]]] = {}
+        scalar: dict[tuple[str, str], Scenario] = {}
+        for point, scenario in misses.items():
+            if self._batch_enabled and backend_supports_batch(point[1]):
+                batch_groups.setdefault(point[1], []).append((point, scenario))
+            else:
+                scalar[point] = scenario
+        for backend in sorted(batch_groups):
+            group = batch_groups[backend]
+            if len(group) < 2:
+                # A lone scenario gains nothing from batching; keep it on the
+                # per-scenario path (which also honours instance-level
+                # ``predict`` monkeypatching in tests).
+                scalar.update(group)
+                continue
+            results.update(self._dispatch_batch(backend, group))
+        if scalar:
+            results.update(self._evaluate_unique(scalar))
+        return results
+
+    def _dispatch_batch(
+        self,
+        backend: str,
+        group: list[tuple[tuple[str, str], Scenario]],
+    ) -> dict[tuple[str, str], PredictionResult]:
+        """One ``predict_batch`` call for all misses of one backend."""
+        scenarios = [scenario for _, scenario in group]
+        batch_results = self._backend(backend).predict_batch(scenarios)
+        if len(batch_results) != len(group):
+            raise BackendError(
+                f"backend {backend!r} returned {len(batch_results)} batch results "
+                f"for {len(group)} scenarios"
+            )
+        with self._lock:
+            self._batch_calls += 1
+            self._batch_points += len(group)
+        results = {}
+        for (point, _), result in zip(group, batch_results):
+            self._record_evaluation(point, result)
+            results[point] = result
+        return results
 
     # -- executor layer -------------------------------------------------------
 

@@ -37,6 +37,7 @@ import logging
 import os
 import tempfile
 import threading
+from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -158,6 +159,45 @@ class ResultStore:
                 self._index[index_key] = loaded[3]
             return loaded[3]
         return None
+
+    def get_many(
+        self, points: Sequence[tuple[str, str, dict | None]]
+    ) -> dict[tuple[str, str], PredictionResult]:
+        """Bulk lookup of ``(cache key, backend, options)`` points.
+
+        Returns the stored results keyed by ``(cache key, backend)``; points
+        without a usable record are simply absent.  Disk misses are resolved
+        with **one directory listing per shard** instead of one file probe
+        per record: a sweep planner asking for thousands of mostly-missing
+        points costs at most 256 ``listdir`` calls, and only record files
+        that actually exist are opened and parsed.
+        """
+        found: dict[tuple[str, str], PredictionResult] = {}
+        shard_probes: dict[Path, list[tuple[tuple[str, str, str], Path]]] = {}
+        with self._lock:
+            for key, backend, options in points:
+                options_key = _canonical_options(options)
+                index_key = (key, backend, options_key)
+                hit = self._index.get(index_key)
+                if hit is not None:
+                    found[(key, backend)] = hit
+                    continue
+                path = self._record_path(key, backend, options_key)
+                shard_probes.setdefault(path.parent, []).append((index_key, path))
+        for shard_dir, probes in shard_probes.items():
+            try:
+                present = set(os.listdir(shard_dir))
+            except OSError:
+                continue
+            for index_key, path in probes:
+                if path.name not in present:
+                    continue
+                loaded = self._read_record(path, StoreStats())
+                if loaded is not None and loaded[:3] == index_key:
+                    with self._lock:
+                        self._index[index_key] = loaded[3]
+                    found[(index_key[0], index_key[1])] = loaded[3]
+        return found
 
     # -- writes ---------------------------------------------------------------
 

@@ -1,0 +1,162 @@
+"""Store-aware sweep scheduling: evaluate only the missing grid points.
+
+A parameter sweep is a :class:`~repro.api.scenario.ScenarioSuite` × a set of
+backends.  With a persistent :class:`~repro.api.store.ResultStore` attached
+to the service, most of a re-run (or a resumed, previously interrupted run)
+is already answered on disk; the :class:`SweepScheduler` makes that explicit:
+
+* :meth:`SweepScheduler.plan` partitions the target grid into memory hits,
+  store hits, and missing ``(scenario, backend)`` points — without
+  evaluating anything (the store is bulk-probed with
+  :meth:`~repro.api.store.ResultStore.get_many`, one directory listing per
+  shard);
+* :meth:`SweepScheduler.run` executes the plan through
+  :meth:`~repro.api.service.PredictionService.evaluate_suite` — cached
+  points replay from memory/store, missing points fan out per the service's
+  execution mode with batch-capable backends dispatched in one
+  ``predict_batch`` call — and reports what was actually evaluated.
+
+Interrupting a store-backed sweep and re-running it therefore re-executes
+only the remainder: every completed point was persisted when it finished.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from .scenario import ScenarioSuite
+from .service import PredictionService, ServiceStats, SuiteResult
+
+#: One sweep point: (scenario index in the suite, backend name).
+SweepPoint = tuple[int, str]
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """Partition of a sweep grid by where each point's answer will come from."""
+
+    suite: ScenarioSuite
+    backends: tuple[str, ...]
+    #: Points answered by the service's in-memory cache.
+    memory_hits: tuple[SweepPoint, ...]
+    #: Points answered by the persistent result store.
+    store_hits: tuple[SweepPoint, ...]
+    #: Points that must actually be evaluated.
+    missing: tuple[SweepPoint, ...]
+
+    @property
+    def total_points(self) -> int:
+        """Number of (scenario, backend) points in the grid."""
+        return len(self.suite.scenarios) * len(self.backends)
+
+    @property
+    def cached_points(self) -> int:
+        """Points that will replay from memory or store."""
+        return len(self.memory_hits) + len(self.store_hits)
+
+    def describe(self) -> str:
+        """One-line human-readable plan summary."""
+        return (
+            f"sweep {self.suite.name!r}: {self.total_points} points "
+            f"({len(self.suite.scenarios)} scenarios x {len(self.backends)} backends), "
+            f"{len(self.memory_hits)} cached, {len(self.store_hits)} stored, "
+            f"{len(self.missing)} to evaluate"
+        )
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Result of one scheduled sweep run."""
+
+    plan: SweepPlan
+    result: SuiteResult
+    #: Service counters accumulated by this run (after minus before).
+    #: Exact for a service driven by one sweep at a time — the CLI and the
+    #: experiment runner; a service shared by *concurrent* sweep runs
+    #: interleaves counter updates between the two snapshots, so these
+    #: deltas then include the other runs' work (use :attr:`plan` for the
+    #: per-run intent in that case).
+    stats: ServiceStats
+
+    @property
+    def evaluated_points(self) -> int:
+        """Backend evaluations this run actually performed."""
+        return self.stats.evaluations
+
+
+class SweepScheduler:
+    """Plan and run sweeps against a (possibly store-backed) service."""
+
+    def __init__(self, service: PredictionService) -> None:
+        self._service = service
+
+    @property
+    def service(self) -> PredictionService:
+        """The prediction service executing the sweeps."""
+        return self._service
+
+    def _resolve_backends(self, backends: Sequence[str] | None) -> tuple[str, ...]:
+        return (
+            tuple(backends) if backends is not None else tuple(self._service.backends())
+        )
+
+    def plan(
+        self, suite: ScenarioSuite, backends: Sequence[str] | None = None
+    ) -> SweepPlan:
+        """Compute which points of ``suite`` × ``backends`` still need work.
+
+        Purely a read: probes the service cache and bulk-probes the store,
+        evaluates nothing, and leaves the service's hit counters untouched.
+        Duplicate scenarios share one underlying point; every (scenario
+        index, backend) pair is still reported so the plan's point counts
+        match the grid the caller asked for.
+        """
+        names = self._resolve_backends(backends)
+        keys = [scenario.cache_key() for scenario in suite.scenarios]
+        unique_points = list(
+            dict.fromkeys((key, name) for key in keys for name in names)
+        )
+        sources = self._service.probe_points(unique_points)
+        memory: list[SweepPoint] = []
+        stored: list[SweepPoint] = []
+        missing: list[SweepPoint] = []
+        for index, key in enumerate(keys):
+            for name in names:
+                point = (index, name)
+                source = sources.get((key, name))
+                if source == "memory":
+                    memory.append(point)
+                elif source == "store":
+                    stored.append(point)
+                else:
+                    missing.append(point)
+        return SweepPlan(
+            suite=suite,
+            backends=names,
+            memory_hits=tuple(memory),
+            store_hits=tuple(stored),
+            missing=tuple(missing),
+        )
+
+    def run(
+        self, suite: ScenarioSuite, backends: Sequence[str] | None = None
+    ) -> SweepOutcome:
+        """Plan, then evaluate — completed points replay, the rest execute.
+
+        Re-running after an interruption (with a store attached) resumes the
+        sweep: the plan shrinks to the unfinished remainder and only those
+        points are evaluated.
+        """
+        plan = self.plan(suite, backends)
+        before = self._service.stats()
+        result = self._service.evaluate_suite(suite, plan.backends)
+        after = self._service.stats()
+        delta = ServiceStats(
+            memory_hits=after.memory_hits - before.memory_hits,
+            store_hits=after.store_hits - before.store_hits,
+            evaluations=after.evaluations - before.evaluations,
+            batch_calls=after.batch_calls - before.batch_calls,
+            batch_points=after.batch_points - before.batch_points,
+        )
+        return SweepOutcome(plan=plan, result=result, stats=delta)

@@ -13,8 +13,13 @@ main entry points of the library through the unified prediction API:
 * ``simulate`` — run the YARN simulator and print per-job traces.
 
 ``predict`` / ``compare`` / ``sweep`` / ``figure`` accept ``--store PATH``
-(persist results across runs through a :class:`~repro.api.ResultStore`) and
-``--execution {serial,thread,process}`` (suite fan-out strategy).
+(persist results across runs through a :class:`~repro.api.ResultStore`),
+``--execution {serial,thread,process}`` (suite fan-out strategy), and
+``--no-batch`` (disable one-call ``predict_batch`` dispatch for the
+batch-capable analytic backends).  ``sweep`` schedules through
+:class:`~repro.api.SweepScheduler`: it first reports how many grid points
+are already answered by the cache/store and evaluates only the missing ones,
+so an interrupted store-backed sweep resumes where it left off.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from .api import (
     PredictionService,
     Scenario,
     ScenarioSuite,
+    SweepScheduler,
     WORKLOAD_PROFILES,
     backend_names,
 )
@@ -83,6 +89,12 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         choices=EXECUTION_MODES,
         help="suite fan-out strategy (process sidesteps the GIL for the simulator)",
     )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="evaluate suite points one by one instead of dispatching "
+        "batch-capable backends in one vectorised call",
+    )
 
 
 def _service_from_args(
@@ -95,6 +107,7 @@ def _service_from_args(
         max_workers=max_workers,
         store=args.store,
         execution=args.execution,
+        batch=not args.no_batch,
     )
 
 
@@ -198,7 +211,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
     suite = ScenarioSuite.from_json(text)
     backends = args.backend or list(DEFAULT_SWEEP_BACKENDS)
     service = _service_from_args(args, backends, max_workers=args.max_workers)
-    suite_result = service.evaluate_suite(suite, backends)
+    scheduler = SweepScheduler(service)
+    outcome = scheduler.run(suite, backends)
+    print(outcome.plan.describe(), file=sys.stderr)
+    suite_result = outcome.result
     if args.json:
         print(json.dumps(suite_result.to_dict(), indent=2))
         _print_store_summary(args, service)

@@ -43,8 +43,9 @@ from .estimators import (
     TripathiEstimator,
     create_estimator,
 )
+from .fast_timeline import TimelinePlacement, place_tasks
 from .initialization import InitializationStrategy, initialize_from_herodotou, initialize_from_profile
-from .mva_solver import ModifiedMVASolver, SolverIteration, SolverTrace
+from .mva_solver import ModifiedMVASolver, Residences, SolverIteration, SolverTrace
 from .model import Hadoop2PerformanceModel, PredictionResult
 from .complexity import ComplexityReport, estimate_complexity
 
@@ -57,7 +58,10 @@ __all__ = [
     "expand_task_instances",
     "Timeline",
     "TimelineEntry",
+    "TimelinePlacement",
     "build_timeline",
+    "place_tasks",
+    "Residences",
     "Phase",
     "segment_phases",
     "LeafNode",

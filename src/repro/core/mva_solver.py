@@ -27,12 +27,16 @@ from ..queueing.mva_overlap import OverlapFactors, solve_mva_with_overlaps
 from ..queueing.network import ClosedNetwork
 from ..queueing.service_center import CenterKind, ServiceCenter, ServiceDemand
 from .estimators import EstimatorKind, create_estimator
+from .fast_timeline import place_tasks
 from .overlap import compute_overlap_factors
 from .parameters import ModelInput, ServiceCenterName, TaskClass
 from .precedence.builder import build_precedence_tree
 from .precedence.metrics import tree_depth
 from .precedence.tree import PrecedenceNode
 from .timeline import Timeline, build_timeline
+
+#: Per-class, per-center residence times — the solver's iterated state.
+Residences = dict[TaskClass, dict[ServiceCenterName, float]]
 
 #: Convergence threshold recommended by the paper (Section 4.2.6).
 DEFAULT_EPSILON = 1e-7
@@ -62,6 +66,9 @@ class SolverTrace:
     final_timeline: Timeline | None = None
     final_tree: PrecedenceNode | None = None
     final_overlaps: OverlapFactors | None = None
+    #: Converged per-class, per-center residence times — the state a
+    #: neighbouring grid point can be warm-started from.
+    final_residences: Residences | None = None
 
     @property
     def num_iterations(self) -> int:
@@ -93,6 +100,7 @@ class ModifiedMVASolver:
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         balanced_tree: bool = True,
         enforce_merge_after_last_map: bool = True,
+        fast_timeline: bool = False,
     ) -> None:
         if epsilon <= 0:
             raise ModelError("epsilon must be positive")
@@ -103,6 +111,12 @@ class ModifiedMVASolver:
         self.max_iterations = max_iterations
         self.balanced_tree = balanced_tree
         self.enforce_merge_after_last_map = enforce_merge_after_last_map
+        #: Use the array-based placement of :mod:`repro.core.fast_timeline`
+        #: for A2/A3 (vectorised overlap factors) and A5.  The placement is
+        #: identical to :func:`build_timeline`'s; only the overlap matrices
+        #: differ, at floating-point summation order.  Default off so the
+        #: scalar paths stay bit-for-bit unchanged.
+        self.fast_timeline = fast_timeline
 
     # -- building blocks -----------------------------------------------------------
 
@@ -171,12 +185,12 @@ class ModifiedMVASolver:
             inter_job=np.clip(overlaps.inter_job * factor, 0.0, 1.0),
         )
 
-    def _build_timeline(
+    def _timeline_durations(
         self,
         model_input: ModelInput,
-        residences: dict[TaskClass, dict[ServiceCenterName, float]],
-    ) -> Timeline:
-        """Timeline from the current per-class per-center residence times."""
+        residences: Residences,
+    ) -> tuple[float, float, float, float]:
+        """(map, shuffle base, full shuffle network, merge) durations for Algorithm 1."""
         map_duration = sum(residences[TaskClass.MAP].values())
         shuffle_network = residences[TaskClass.SHUFFLE_SORT][ServiceCenterName.NETWORK]
         shuffle_base = (
@@ -192,7 +206,32 @@ class ModifiedMVASolver:
             shuffle_network_full = shuffle_network / remote_fraction
         else:
             shuffle_network_full = 0.0
+        return map_duration, shuffle_base, shuffle_network_full, merge_duration
+
+    def _build_timeline(
+        self,
+        model_input: ModelInput,
+        residences: Residences,
+    ) -> Timeline:
+        """Timeline from the current per-class per-center residence times."""
+        map_duration, shuffle_base, shuffle_network_full, merge_duration = (
+            self._timeline_durations(model_input, residences)
+        )
         return build_timeline(
+            model_input,
+            map_duration=map_duration,
+            shuffle_sort_base_duration=shuffle_base,
+            shuffle_network_duration=shuffle_network_full,
+            merge_duration=merge_duration,
+            enforce_merge_after_last_map=self.enforce_merge_after_last_map,
+        )
+
+    def _place_tasks(self, model_input: ModelInput, residences: Residences):
+        """Array-based placement for the fast-timeline mode (same inputs as A2)."""
+        map_duration, shuffle_base, shuffle_network_full, merge_duration = (
+            self._timeline_durations(model_input, residences)
+        )
+        return place_tasks(
             model_input,
             map_duration=map_duration,
             shuffle_sort_base_duration=shuffle_base,
@@ -269,8 +308,28 @@ class ModifiedMVASolver:
         self,
         model_input: ModelInput,
         initial_response_times: dict[TaskClass, float] | None = None,
+        initial_residences: Residences | None = None,
     ) -> SolverTrace:
-        """Run the modified MVA iteration and return its full trace."""
+        """Run the modified MVA iteration and return its full trace.
+
+        ``initial_residences`` seeds A1 with explicit per-class, per-center
+        residence times — typically the :attr:`SolverTrace.final_residences`
+        of a neighbouring, already-solved grid point (warm start).  It takes
+        precedence over ``initial_response_times`` (which only provides
+        per-class totals, split over the centers proportionally to demand).
+        The fixed point reached is the same either way; a good seed merely
+        needs fewer A2–A6 iterations to get there.
+        """
+        if initial_residences is not None:
+            for task_class in TaskClass.ordered():
+                centers = initial_residences.get(task_class)
+                if centers is None:
+                    raise ModelError(
+                        f"initial residences missing class {task_class.value!r}"
+                    )
+                for center in ServiceCenterName.ordered():
+                    if centers.get(center, 0.0) < 0:
+                        raise ModelError("initial residences must be non-negative")
         trace = SolverTrace()
         network = self._build_network(model_input)
         cv_by_class = {
@@ -290,14 +349,25 @@ class ModifiedMVASolver:
         }
 
         # A1: initialise residence times (per center) from the seed values.
-        residences = self._initial_residences(model_input, initial_response_times)
+        if initial_residences is not None:
+            residences = {
+                task_class: {
+                    center: float(initial_residences[task_class].get(center, 0.0))
+                    for center in ServiceCenterName.ordered()
+                }
+                for task_class in TaskClass.ordered()
+            }
+        else:
+            residences = self._initial_residences(model_input, initial_response_times)
         previous_estimate: float | None = None
 
         for index in range(1, self.max_iterations + 1):
-            # A2: timeline + precedence tree from the current estimates.
-            timeline = self._build_timeline(model_input, residences)
-            # A3: overlap factors from the timeline.
-            overlaps = compute_overlap_factors(timeline)
+            # A2/A3: overlap factors from the timeline of the current estimates.
+            if self.fast_timeline:
+                overlaps = self._place_tasks(model_input, residences).overlap_factors()
+            else:
+                timeline = self._build_timeline(model_input, residences)
+                overlaps = compute_overlap_factors(timeline)
             scaled = self._scaled_overlaps(overlaps, model_input)
             # A4: overlap-weighted MVA.
             solution = solve_mva_with_overlaps(
@@ -321,7 +391,12 @@ class ModifiedMVASolver:
                 for task_class in TaskClass.ordered()
             }
             # A5: response time over the rebuilt tree.
-            updated_timeline = self._build_timeline(model_input, residences)
+            if self.fast_timeline:
+                updated_timeline = self._place_tasks(
+                    model_input, residences
+                ).to_timeline()
+            else:
+                updated_timeline = self._build_timeline(model_input, residences)
             tree = build_precedence_tree(
                 updated_timeline,
                 coefficient_of_variation=cv_by_class,
@@ -352,6 +427,7 @@ class ModifiedMVASolver:
             trace.final_timeline = updated_timeline
             trace.final_tree = tree
             trace.final_overlaps = overlaps
+            trace.final_residences = residences
             if previous_estimate is not None and delta <= self.epsilon:
                 trace.converged = True
                 break

@@ -18,6 +18,7 @@ cache makes repeated figure runs (and overlapping sweeps) free.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from ..analysis.errors import relative_error
@@ -27,11 +28,14 @@ from ..api import (
     ResultStore,
     Scenario,
     ScenarioSuite,
+    SweepScheduler,
 )
 from ..config import ClusterConfig, SchedulerConfig
 from ..core.estimators import EstimatorKind
 from ..exceptions import ExperimentError
 from ..workloads.generators import WorkloadSpec
+
+logger = logging.getLogger(__name__)
 
 #: Number of simulator repetitions per point (the paper uses 5).
 DEFAULT_REPETITIONS = 3
@@ -227,14 +231,19 @@ def run_suite_series(
     store: ResultStore | str | None = None,
     execution: str | None = None,
 ) -> ExperimentSeries:
-    """Evaluate a scenario suite (aligned with ``x_values``) into a series."""
+    """Evaluate a scenario suite (aligned with ``x_values``) into a series.
+
+    The suite is scheduled through :class:`~repro.api.SweepScheduler`: with a
+    store-backed service, completed points replay from disk and only the
+    missing remainder is evaluated (the plan is logged at debug level).
+    """
     if len(suite.scenarios) != len(x_values):
         raise ExperimentError("suite and x_values must align")
-    suite_result = _resolve_service(service, store=store, execution=execution).evaluate_suite(
-        suite, POINT_BACKENDS
-    )
+    scheduler = SweepScheduler(_resolve_service(service, store=store, execution=execution))
+    outcome = scheduler.run(suite, POINT_BACKENDS)
+    logger.debug("%s", outcome.plan.describe())
     series = ExperimentSeries(x_label=x_label, x_values=list(x_values))
-    for scenario, row in zip(suite.scenarios, suite_result.rows):
+    for scenario, row in zip(suite.scenarios, outcome.result.rows):
         series.points.append(_point_from_results(scenario, row))
     return series
 

@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..exceptions import ConfigurationError, ModelError
 
 
@@ -71,6 +73,25 @@ def _stage_bounds(num_tasks: int, avg: float, maximum: float, slots: int) -> Ari
     lower = num_tasks * avg / slots
     upper = (num_tasks - 1) * avg / slots + maximum
     return AriaBounds(lower_seconds=lower, upper_seconds=upper)
+
+
+def batch_stage_bounds(
+    num_tasks: np.ndarray,
+    avg: np.ndarray,
+    maximum: np.ndarray,
+    slots: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`_stage_bounds`: (lower, upper) arrays over a grid.
+
+    Element ``i`` applies the makespan theorem to grid point ``i`` with the
+    exact arithmetic of the scalar path, so the batch values are bit-equal to
+    per-point :meth:`AriaModel.job_bounds` calls.
+    """
+    if np.any(slots <= 0):
+        raise ModelError("slots must be positive")
+    lower = num_tasks * avg / slots
+    upper = (num_tasks - 1) * avg / slots + maximum
+    return lower, upper
 
 
 class AriaModel:

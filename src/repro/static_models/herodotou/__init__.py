@@ -22,6 +22,12 @@ from .parameters import CostStatistics, DataflowStatistics, HadoopEnvironment, W
 from .map_model import MapPhaseCosts, estimate_map_phases
 from .reduce_model import ReducePhaseCosts, estimate_reduce_phases
 from .job_model import HerodotouJobEstimate, HerodotouJobModel
+from .batch import (
+    HerodotouBatchEstimate,
+    batch_estimate,
+    batch_map_task_seconds,
+    batch_reduce_task_seconds,
+)
 
 __all__ = [
     "CostStatistics",
@@ -34,4 +40,8 @@ __all__ = [
     "estimate_reduce_phases",
     "HerodotouJobEstimate",
     "HerodotouJobModel",
+    "HerodotouBatchEstimate",
+    "batch_estimate",
+    "batch_map_task_seconds",
+    "batch_reduce_task_seconds",
 ]

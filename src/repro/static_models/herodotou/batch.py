@@ -1,0 +1,156 @@
+"""Vectorised Herodotou phase costs — the batched twin of the scalar model.
+
+:func:`~repro.static_models.herodotou.map_model.estimate_map_phases` and
+:func:`~repro.static_models.herodotou.reduce_model.estimate_reduce_phases`
+evaluate one job at a time; a parameter sweep re-runs the same closed-form
+arithmetic once per grid point.  The functions here take stacked NumPy arrays
+(one element per grid point) and mirror the scalar formulas operation for
+operation, so a whole grid evaluates in a handful of array expressions and
+the results are bit-equal to the scalar path (pinned by the batch-equivalence
+tests).
+
+Cost statistics are passed as arrays too: a grid may mix workloads or
+clusters, so every per-byte cost can vary per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class HerodotouBatchEstimate:
+    """Stage/total second arrays of one vectorised grid evaluation."""
+
+    map_task_seconds: np.ndarray
+    reduce_task_seconds: np.ndarray
+    map_waves: np.ndarray
+    reduce_waves: np.ndarray
+
+    @property
+    def map_stage_seconds(self) -> np.ndarray:
+        """Map-stage seconds (waves × per-task cost) per grid point."""
+        return self.map_waves * self.map_task_seconds
+
+    @property
+    def reduce_stage_seconds(self) -> np.ndarray:
+        """Reduce-stage seconds (waves × per-task cost) per grid point."""
+        return self.reduce_waves * self.reduce_task_seconds
+
+    @property
+    def total_seconds(self) -> np.ndarray:
+        """Estimated job execution time per grid point."""
+        return self.map_stage_seconds + self.reduce_stage_seconds
+
+
+def batch_map_task_seconds(
+    split_bytes: np.ndarray,
+    map_output_bytes: np.ndarray,
+    sort_buffer_bytes: np.ndarray,
+    hdfs_read_cost: np.ndarray,
+    map_cpu_cost: np.ndarray,
+    sort_cpu_cost: np.ndarray,
+    local_io_cost: np.ndarray,
+    task_startup_seconds: np.ndarray,
+) -> np.ndarray:
+    """Per-map-task seconds; vectorised mirror of ``estimate_map_phases``."""
+    split = split_bytes.astype(float)
+    output = map_output_bytes.astype(float)
+    read_cost = split * hdfs_read_cost
+    map_cost = split * map_cpu_cost
+    collect_cost = output * sort_cpu_cost
+    num_spills = np.maximum(1, np.ceil(output / sort_buffer_bytes))
+    sort_factor = 1.0 + np.log2(
+        np.maximum(2.0, output / np.maximum(sort_buffer_bytes, 1))
+    )
+    spill_cost = output * (local_io_cost + sort_cpu_cost * sort_factor)
+    merge_cost = np.where(
+        num_spills > 1, output * (2.0 * local_io_cost + sort_cpu_cost), 0.0
+    )
+    return (
+        read_cost + map_cost + collect_cost + spill_cost + merge_cost
+        + task_startup_seconds
+    )
+
+
+def batch_reduce_task_seconds(
+    reduce_input_bytes: np.ndarray,
+    reduce_output_bytes: np.ndarray,
+    num_maps: np.ndarray,
+    output_replication: np.ndarray,
+    remote_fraction: np.ndarray,
+    hdfs_write_cost: np.ndarray,
+    local_io_cost: np.ndarray,
+    network_cost: np.ndarray,
+    reduce_cpu_cost: np.ndarray,
+    task_startup_seconds: np.ndarray,
+) -> np.ndarray:
+    """Per-reduce-task seconds; vectorised mirror of ``estimate_reduce_phases``."""
+    reduce_input = reduce_input_bytes.astype(float)
+    reduce_output = reduce_output_bytes.astype(float)
+    shuffle_cost = (
+        reduce_input * remote_fraction * network_cost + reduce_input * local_io_cost
+    )
+    merge_passes = np.maximum(
+        1, np.ceil(np.log2(np.maximum(2.0, num_maps.astype(float)))) - 3
+    )
+    merge_cost = reduce_input * merge_passes * 2.0 * local_io_cost
+    reduce_cost = reduce_input * reduce_cpu_cost
+    write_cost = reduce_output * hdfs_write_cost * output_replication
+    return shuffle_cost + merge_cost + reduce_cost + write_cost + task_startup_seconds
+
+
+def batch_estimate(
+    split_bytes: np.ndarray,
+    map_output_bytes: np.ndarray,
+    sort_buffer_bytes: np.ndarray,
+    reduce_input_bytes: np.ndarray,
+    reduce_output_bytes: np.ndarray,
+    num_maps: np.ndarray,
+    num_reduces: np.ndarray,
+    output_replication: np.ndarray,
+    remote_fraction: np.ndarray,
+    total_map_slots: np.ndarray,
+    total_reduce_slots: np.ndarray,
+    hdfs_read_cost: np.ndarray,
+    hdfs_write_cost: np.ndarray,
+    local_io_cost: np.ndarray,
+    network_cost: np.ndarray,
+    map_cpu_cost: np.ndarray,
+    reduce_cpu_cost: np.ndarray,
+    sort_cpu_cost: np.ndarray,
+    task_startup_seconds: np.ndarray,
+) -> HerodotouBatchEstimate:
+    """Whole-job estimates over a grid; mirror of ``HerodotouJobModel.estimate``."""
+    map_task = batch_map_task_seconds(
+        split_bytes,
+        map_output_bytes,
+        sort_buffer_bytes,
+        hdfs_read_cost,
+        map_cpu_cost,
+        sort_cpu_cost,
+        local_io_cost,
+        task_startup_seconds,
+    )
+    reduce_task = batch_reduce_task_seconds(
+        reduce_input_bytes,
+        reduce_output_bytes,
+        num_maps,
+        output_replication,
+        remote_fraction,
+        hdfs_write_cost,
+        local_io_cost,
+        network_cost,
+        reduce_cpu_cost,
+        task_startup_seconds,
+    )
+    map_waves = np.ceil(num_maps / total_map_slots)
+    reduce_waves = np.ceil(num_reduces / total_reduce_slots)
+    return HerodotouBatchEstimate(
+        map_task_seconds=map_task,
+        reduce_task_seconds=reduce_task,
+        map_waves=map_waves,
+        reduce_waves=reduce_waves,
+    )

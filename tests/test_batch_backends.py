@@ -1,0 +1,246 @@
+"""Batch-path tests: ``predict_batch`` equivalence, warm starts, dispatch.
+
+Three layers are pinned down:
+
+* every batch-capable backend returns the same numbers as its scalar
+  ``predict`` (bit-equal for the vectorised static models, tolerance-equal
+  for the warm-started iterative solvers);
+* the service's suite evaluation dispatches misses to ``predict_batch``,
+  falls back per scenario when batching is disabled (or useless), and counts
+  everything in :meth:`~repro.api.PredictionService.stats` without dropping
+  concurrent increments;
+* MVA grid warm-starting needs fewer A2–A6 iterations than cold starts while
+  converging to the same totals.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import (
+    PredictionService,
+    Scenario,
+    ScenarioSuite,
+    backend_names,
+    backend_supports_batch,
+    create_backend,
+)
+from repro.core.mva_solver import DEFAULT_EPSILON
+from repro.exceptions import BackendError
+from repro.units import megabytes
+
+#: Batch-capable backends (everything except the simulator).
+BATCH_BACKENDS = ("aria", "herodotou", "mva-forkjoin", "mva-tripathi", "vianna")
+
+BASE = Scenario(
+    workload="wordcount",
+    input_size_bytes=megabytes(512),
+    num_nodes=2,
+    num_reduces=4,
+    repetitions=1,
+    seed=7,
+)
+
+#: Mixed grid: two axes plus a second workload family.
+GRID = ScenarioSuite(
+    name="batch-grid",
+    scenarios=tuple(
+        [
+            BASE.with_updates(num_nodes=nodes, input_size_bytes=size)
+            for nodes in (2, 3)
+            for size in (megabytes(256), megabytes(512), megabytes(768))
+        ]
+        + [BASE.with_updates(workload="terasort", num_nodes=nodes) for nodes in (2, 3)]
+    ),
+)
+
+#: Multi-job grid where cold solves need many iterations (warm-start headroom).
+MULTI_JOB_GRID = [
+    BASE.with_updates(num_jobs=2, num_nodes=nodes, input_size_bytes=size)
+    for nodes in (2, 3)
+    for size in (megabytes(256), megabytes(512), megabytes(768), megabytes(1024))
+]
+
+
+class TestBatchCapability:
+    def test_simulator_has_no_batch_path(self):
+        assert not backend_supports_batch("simulator")
+        assert not backend_supports_batch("no-such-backend")
+
+    @pytest.mark.parametrize("name", BATCH_BACKENDS)
+    def test_analytic_backends_are_batch_capable(self, name):
+        assert backend_supports_batch(name)
+
+
+class TestBatchScalarEquivalence:
+    @pytest.mark.parametrize("name", BATCH_BACKENDS)
+    def test_batch_matches_scalar_predictions(self, name):
+        backend = create_backend(name)
+        scalar = [backend.predict(scenario) for scenario in GRID.scenarios]
+        batch = backend.predict_batch(list(GRID.scenarios))
+        assert len(batch) == len(scalar)
+        # Warm-started iterative backends may drift up to the documented
+        # 10*epsilon bound from the cold fixed point (see TestWarmStart);
+        # the abs term keeps this consistent with that bound.
+        for reference, result in zip(scalar, batch):
+            assert result.backend == name
+            assert result.scenario == reference.scenario
+            assert result.total_seconds == pytest.approx(
+                reference.total_seconds, rel=1e-9, abs=10 * DEFAULT_EPSILON
+            )
+            assert set(result.phases) == set(reference.phases)
+            for phase, seconds in reference.phases.items():
+                assert result.phases[phase] == pytest.approx(
+                    seconds, rel=1e-9, abs=10 * DEFAULT_EPSILON
+                )
+
+    @pytest.mark.parametrize("name", ["aria", "herodotou"])
+    def test_vectorised_static_models_are_bit_equal(self, name):
+        backend = create_backend(name)
+        scalar = [backend.predict(scenario) for scenario in GRID.scenarios]
+        batch = backend.predict_batch(list(GRID.scenarios))
+        for reference, result in zip(scalar, batch):
+            assert result.to_dict() == reference.to_dict()
+
+    @pytest.mark.parametrize("backend", backend_names())
+    def test_service_batch_and_scalar_paths_agree(self, backend):
+        suite = ScenarioSuite("pair", GRID.scenarios[:4])
+        batched = PredictionService(backends=[backend]).evaluate_suite(
+            suite, [backend]
+        )
+        scalar = PredictionService(backends=[backend], batch=False).evaluate_suite(
+            suite, [backend]
+        )
+        for batched_value, scalar_value in zip(
+            batched.series(backend), scalar.series(backend)
+        ):
+            assert batched_value == pytest.approx(
+                scalar_value, rel=1e-9, abs=10 * DEFAULT_EPSILON
+            )
+
+
+class TestWarmStart:
+    @pytest.mark.parametrize("name", ["mva-forkjoin", "mva-tripathi", "vianna"])
+    def test_warm_start_reduces_iterations_and_preserves_totals(self, name):
+        backend = create_backend(name)
+        cold = [backend.predict(scenario) for scenario in MULTI_JOB_GRID]
+        warm = backend.predict_batch(MULTI_JOB_GRID)
+        cold_iterations = sum(result.metadata["iterations"] for result in cold)
+        warm_iterations = sum(result.metadata["iterations"] for result in warm)
+        assert warm_iterations < cold_iterations
+        assert any(result.metadata["warm_started"] for result in warm)
+        # Epsilon bounds successive iterates, not the distance between two
+        # independently converged runs — hence the small multiple.
+        for reference, result in zip(cold, warm):
+            assert result.total_seconds == pytest.approx(
+                reference.total_seconds, abs=10 * DEFAULT_EPSILON
+            )
+
+    def test_first_point_of_each_family_is_cold(self):
+        backend = create_backend("mva-forkjoin")
+        scenarios = [BASE, BASE.with_updates(workload="terasort")]
+        results = backend.predict_batch(scenarios)
+        assert [result.metadata["warm_started"] for result in results] == [
+            False,
+            False,
+        ]
+
+
+class TestServiceBatchDispatch:
+    def test_suite_misses_dispatch_in_one_batch_call(self):
+        service = PredictionService(backends=["aria"])
+        suite = ScenarioSuite("grid", GRID.scenarios[:5])
+        calls = []
+        backend = service._backend("aria")
+        original_batch = backend.predict_batch
+        backend.predict_batch = lambda scenarios: (
+            calls.append(len(scenarios)),
+            original_batch(scenarios),
+        )[1]
+        service.evaluate_suite(suite, ["aria"])
+        assert calls == [5]
+        stats = service.stats()
+        assert stats.batch_calls == 1
+        assert stats.batch_points == 5
+        assert stats.evaluations == 5
+
+    def test_batch_results_populate_cache_and_store(self, tmp_path):
+        service = PredictionService(backends=["aria"], store=tmp_path / "store")
+        suite = ScenarioSuite("grid", GRID.scenarios[:4])
+        service.evaluate_suite(suite, ["aria"])
+        assert service.cache_size() == 4
+        warm = PredictionService(backends=["aria"], store=tmp_path / "store")
+        warm.evaluate_suite(suite, ["aria"])
+        stats = warm.stats()
+        assert stats.evaluations == 0
+        assert stats.store_hits == 4
+
+    def test_single_miss_stays_on_scalar_path(self):
+        service = PredictionService(backends=["aria"])
+        calls = []
+        backend = service._backend("aria")
+        original = backend.predict
+        backend.predict = lambda scenario: (calls.append(1), original(scenario))[1]
+        service.evaluate_suite(ScenarioSuite("one", (BASE,)), ["aria"])
+        assert calls == [1]
+        assert service.stats().batch_calls == 0
+
+    def test_batch_disabled_uses_scalar_path(self):
+        service = PredictionService(backends=["aria"], batch=False)
+        assert not service.batch_enabled
+        suite = ScenarioSuite("grid", GRID.scenarios[:3])
+        service.evaluate_suite(suite, ["aria"])
+        stats = service.stats()
+        assert stats.batch_calls == 0
+        assert stats.evaluations == 3
+
+    def test_wrong_batch_result_count_is_an_error(self):
+        service = PredictionService(backends=["aria"])
+        backend = service._backend("aria")
+        backend.predict_batch = lambda scenarios: []
+        with pytest.raises(BackendError, match="batch results"):
+            service.evaluate_suite(
+                ScenarioSuite("grid", GRID.scenarios[:3]), ["aria"]
+            )
+
+    def test_execution_modes_share_the_batch_partition(self):
+        suite = ScenarioSuite("grid", GRID.scenarios[:4])
+        reference = None
+        for mode in ("serial", "thread", "process"):
+            service = PredictionService(backends=["vianna"], execution=mode)
+            series = service.evaluate_suite(suite, ["vianna"]).series("vianna")
+            assert service.stats().batch_calls == 1
+            if reference is None:
+                reference = series
+            else:
+                assert series == reference
+
+
+class TestStatsCounterSafety:
+    def test_concurrent_suite_evaluations_do_not_drop_counts(self):
+        service = PredictionService(backends=["aria"], max_workers=4)
+        suite = ScenarioSuite("grid", GRID.scenarios[:6])
+        service.evaluate_suite(suite, ["aria"])  # populate the cache
+        barrier = threading.Barrier(8)
+        errors: list[BaseException] = []
+
+        def hammer():
+            try:
+                barrier.wait()
+                for _ in range(5):
+                    service.evaluate_suite(suite, ["aria"])
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = service.stats()
+        # 6 first-run evaluations; 8 threads x 5 runs x 6 points of memory hits.
+        assert stats.evaluations == 6
+        assert stats.memory_hits == 8 * 5 * 6

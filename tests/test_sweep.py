@@ -1,0 +1,247 @@
+"""Tests for the store-aware sweep scheduler (:mod:`repro.api.sweep`).
+
+Pins the scheduler's contract: the plan partitions a target grid into memory
+hits / store hits / missing points without evaluating anything, a run
+executes exactly the missing remainder (so interrupted sweeps resume), and
+the bulk store probe behind the planner (:meth:`ResultStore.get_many`) finds
+every stored record with one directory listing per shard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    PredictionService,
+    ResultStore,
+    Scenario,
+    ScenarioSuite,
+    SweepScheduler,
+    create_backend,
+)
+from repro.api.backends import _REGISTRY
+from repro.api.results import PredictionResult
+from repro.units import megabytes
+
+#: Small, fast scenario shared by the scheduler tests.
+SMALL = Scenario(
+    workload="wordcount",
+    input_size_bytes=megabytes(256),
+    num_nodes=2,
+    num_reduces=2,
+    repetitions=1,
+    seed=11,
+)
+
+SUITE = ScenarioSuite.from_sweep("sweep-grid", SMALL, num_nodes=[2, 3, 4, 5])
+
+
+@pytest.fixture
+def counting_backend():
+    """Register a throwaway counting backend and unregister it afterwards."""
+
+    class CountingBackend:
+        calls: list[str] = []
+
+        def predict(self, scenario):
+            type(self).calls.append(scenario.cache_key())
+            return PredictionResult(
+                backend=type(self).name,
+                scenario=scenario,
+                total_seconds=float(scenario.num_nodes),
+                phases={"map": 1.0},
+            )
+
+    CountingBackend.name = "sweep-counting-stub"
+    _REGISTRY["sweep-counting-stub"] = CountingBackend
+    try:
+        yield CountingBackend
+    finally:
+        _REGISTRY.pop("sweep-counting-stub", None)
+
+
+class TestSweepPlan:
+    def test_empty_state_plans_everything_as_missing(self):
+        service = PredictionService(backends=["aria"])
+        plan = SweepScheduler(service).plan(SUITE, ["aria"])
+        assert plan.total_points == 4
+        assert plan.cached_points == 0
+        assert len(plan.missing) == 4
+        assert {index for index, _ in plan.missing} == {0, 1, 2, 3}
+
+    def test_plan_against_preseeded_store_reports_only_remainder(self, tmp_path):
+        store_path = tmp_path / "store"
+        seeded = PredictionService(backends=["aria"], store=store_path)
+        seeded.evaluate_suite(
+            ScenarioSuite("partial", SUITE.scenarios[:2]), ["aria"]
+        )
+        service = PredictionService(backends=["aria"], store=store_path)
+        plan = SweepScheduler(service).plan(SUITE, ["aria"])
+        assert len(plan.store_hits) == 2
+        assert len(plan.missing) == 2
+        assert {index for index, _ in plan.store_hits} == {0, 1}
+        assert {index for index, _ in plan.missing} == {2, 3}
+
+    def test_plan_distinguishes_memory_from_store_hits(self, tmp_path):
+        service = PredictionService(backends=["aria"], store=tmp_path / "store")
+        service.evaluate_suite(ScenarioSuite("warm", SUITE.scenarios[:1]), ["aria"])
+        plan = SweepScheduler(service).plan(SUITE, ["aria"])
+        assert len(plan.memory_hits) == 1
+        assert len(plan.store_hits) == 0  # memory answers before the store
+        assert len(plan.missing) == 3
+
+    def test_plan_does_not_evaluate_or_count(self):
+        service = PredictionService(backends=["aria"])
+        SweepScheduler(service).plan(SUITE, ["aria"])
+        stats = service.stats()
+        assert stats.evaluations == 0
+        assert stats.memory_hits == 0
+        assert stats.store_hits == 0
+
+    def test_duplicate_scenarios_share_the_underlying_point(self):
+        suite = ScenarioSuite("dup", (SMALL, SMALL, SMALL))
+        service = PredictionService(backends=["aria"])
+        plan = SweepScheduler(service).plan(suite, ["aria"])
+        assert plan.total_points == 3
+        assert len(plan.missing) == 3  # reported per grid slot
+        SweepScheduler(service).run(suite, ["aria"])
+        assert service.stats().evaluations == 1  # evaluated once
+
+    def test_describe_mentions_counts(self):
+        service = PredictionService(backends=["aria"])
+        text = SweepScheduler(service).plan(SUITE, ["aria"]).describe()
+        assert "4 points" in text
+        assert "4 to evaluate" in text
+
+
+class TestSweepRun:
+    def test_run_reports_evaluated_remainder(self, counting_backend, tmp_path):
+        name = counting_backend.name
+        store_path = tmp_path / "store"
+        first = SweepScheduler(
+            PredictionService(backends=[name], store=store_path)
+        )
+        outcome = first.run(SUITE, [name])
+        assert outcome.evaluated_points == 4
+        assert len(outcome.plan.missing) == 4
+        assert outcome.result.series(name) == [2.0, 3.0, 4.0, 5.0]
+
+        second = SweepScheduler(
+            PredictionService(backends=[name], store=store_path)
+        )
+        outcome = second.run(SUITE, [name])
+        assert outcome.evaluated_points == 0
+        assert outcome.stats.store_hits == 4
+        assert outcome.result.series(name) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_interrupted_sweep_resumes_with_remainder_only(
+        self, counting_backend, tmp_path
+    ):
+        name = counting_backend.name
+        store_path = tmp_path / "store"
+        # "Interrupted" run: only half the grid completed before the crash.
+        partial = ScenarioSuite("partial", SUITE.scenarios[:2])
+        SweepScheduler(
+            PredictionService(backends=[name], store=store_path)
+        ).run(partial, [name])
+        counting_backend.calls.clear()
+
+        resumed = SweepScheduler(
+            PredictionService(backends=[name], store=store_path)
+        )
+        outcome = resumed.run(SUITE, [name])
+        assert len(outcome.plan.store_hits) == 2
+        assert len(outcome.plan.missing) == 2
+        assert outcome.evaluated_points == 2
+        # Only the two unfinished scenarios hit the backend.
+        expected = {scenario.cache_key() for scenario in SUITE.scenarios[2:]}
+        assert set(counting_backend.calls) == expected
+        assert outcome.result.series(name) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_run_defaults_to_service_backends(self):
+        service = PredictionService(backends=["aria", "herodotou"])
+        outcome = SweepScheduler(service).run(SUITE)
+        assert outcome.plan.backends == ("aria", "herodotou")
+        assert outcome.plan.total_points == 8
+
+    def test_run_uses_batch_dispatch_for_capable_backends(self):
+        service = PredictionService(backends=["aria"])
+        outcome = SweepScheduler(service).run(SUITE, ["aria"])
+        assert outcome.stats.batch_calls == 1
+        assert outcome.stats.batch_points == 4
+
+
+class TestGetMany:
+    def _seed(self, tmp_path, scenarios, backend="aria"):
+        store = ResultStore(tmp_path / "store")
+        engine = create_backend(backend)
+        for scenario in scenarios:
+            store.put(scenario.cache_key(), backend, engine.predict(scenario))
+        return store
+
+    def test_bulk_lookup_finds_stored_records_after_restart(self, tmp_path):
+        self._seed(tmp_path, SUITE.scenarios)
+        reopened = ResultStore(tmp_path / "store")
+        points = [
+            (scenario.cache_key(), "aria", None) for scenario in SUITE.scenarios
+        ]
+        found = reopened.get_many(points)
+        assert len(found) == 4
+        for scenario in SUITE.scenarios:
+            assert found[(scenario.cache_key(), "aria")].total_seconds > 0
+
+    def test_bulk_lookup_skips_missing_points(self, tmp_path):
+        self._seed(tmp_path, SUITE.scenarios[:2])
+        reopened = ResultStore(tmp_path / "store")
+        points = [
+            (scenario.cache_key(), "aria", None) for scenario in SUITE.scenarios
+        ] + [(SMALL.cache_key(), "herodotou", None)]
+        found = reopened.get_many(points)
+        assert set(found) == {
+            (scenario.cache_key(), "aria") for scenario in SUITE.scenarios[:2]
+        }
+
+    def test_bulk_lookup_lists_each_shard_once(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        self._seed(tmp_path, SUITE.scenarios)
+        reopened = ResultStore(tmp_path / "store")
+        listed: list[str] = []
+        original_listdir = os_module.listdir
+
+        def counting_listdir(path):
+            listed.append(str(path))
+            return original_listdir(path)
+
+        import repro.api.store as store_module
+
+        monkeypatch.setattr(store_module.os, "listdir", counting_listdir)
+        # Many more points than shards: listdir calls are bounded by the
+        # number of distinct shards, not by the number of probed points.
+        points = [
+            (scenario.cache_key(), backend, None)
+            for scenario in SUITE.scenarios
+            for backend in ("aria", "herodotou", "vianna")
+        ]
+        found = reopened.get_many(points)
+        assert len(found) == 4
+        assert len(listed) == len(set(listed))
+
+    def test_bulk_lookup_tolerates_corrupt_records(self, tmp_path):
+        store = self._seed(tmp_path, SUITE.scenarios[:1])
+        record_file = next((store.path / "records").glob("??/*.json"))
+        record_file.write_text("{ not json")
+        reopened = ResultStore(tmp_path / "store")
+        found = reopened.get_many([(SUITE.scenarios[0].cache_key(), "aria", None)])
+        assert found == {}
+
+    def test_bulk_lookup_respects_backend_options(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        result = create_backend("vianna").predict(SMALL)
+        store.put(SMALL.cache_key(), "vianna", result, options={"map_slots_per_node": 4})
+        reopened = ResultStore(tmp_path / "store")
+        assert reopened.get_many([(SMALL.cache_key(), "vianna", None)]) == {}
+        found = reopened.get_many(
+            [(SMALL.cache_key(), "vianna", {"map_slots_per_node": 4})]
+        )
+        assert found[(SMALL.cache_key(), "vianna")] == result
