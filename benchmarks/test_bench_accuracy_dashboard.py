@@ -1,0 +1,68 @@
+"""Bench — the multi-backend accuracy dashboard as a tracked artifact.
+
+Runs the accuracy dashboard headless over a paper-style grid (the smoke grid
+under ``BENCH_SMOKE=1``), prints the versioned ``ACCURACY_DASHBOARD`` JSONL
+records plus the rendered markdown summary, and checks the qualitative shape
+of the error bands the paper reports:
+
+* every one of the six registered backends is covered and comparable;
+* the fork/join variant is at least as accurate as the Tripathi variant
+  (Section 5.2: 11-13.5 % vs 19-23 %), and both stay within a sane band;
+* the per-backend worst case is attributed to a concrete grid scenario.
+
+The JSONL lines are what CI's ``accuracy`` job uploads; the full (non-smoke)
+run sweeps the deduplicated union of the paper's evaluation figures, so the
+bench doubles as the slow-lane regeneration of the paper's error table.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.api.dashboard import (
+    ARTIFACT_PREFIX,
+    DASHBOARD_BACKENDS,
+    render_jsonl,
+    render_markdown,
+    run_dashboard,
+)
+
+
+def _smoke_mode() -> bool:
+    return os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def run_grid_dashboard():
+    grid = "smoke" if _smoke_mode() else "paper"
+    repetitions = 1 if _smoke_mode() else 3
+    return run_dashboard(grid, repetitions=repetitions, execution="thread")
+
+
+def test_bench_accuracy_dashboard(benchmark):
+    run = benchmark.pedantic(run_grid_dashboard, rounds=1, iterations=1)
+    report = run.report
+    print()
+    print(render_markdown(report))
+    for line in render_jsonl(report).splitlines():
+        print(f"{ARTIFACT_PREFIX} {line}")
+
+    # Every registered backend made it into the artifact with comparable stats.
+    assert report.backend_names() == list(DASHBOARD_BACKENDS)
+    assert report.complete
+    for name in DASHBOARD_BACKENDS:
+        entry = report.backend(name)
+        assert entry.comparable, f"{name} produced no comparable points"
+        if name != report.baseline:
+            assert entry.worst is not None
+            assert entry.worst.scenario  # attributed to a concrete scenario
+
+    # Qualitative claims of the paper's error table.
+    forkjoin = report.backend("mva-forkjoin")
+    tripathi = report.backend("mva-tripathi")
+    assert forkjoin.mean_abs <= tripathi.mean_abs + 1e-9
+    assert forkjoin.mean_abs < 0.35
+    assert tripathi.mean_abs < 0.45
+    # Percentile bands are monotone by construction.
+    for entry in report.backends:
+        bands = [entry.percentiles[label] for label in ("p50", "p90", "p95", "p100")]
+        assert bands == sorted(bands)

@@ -1,11 +1,29 @@
-"""Analysis helpers: error metrics, textual reports, ASCII plots."""
+"""Analysis helpers: error metrics, accuracy reports, tables, ASCII plots."""
 
+from .accuracy import (
+    ACCURACY_FORMAT_VERSION,
+    AccuracyReport,
+    BackendAccuracy,
+    PhaseAccuracy,
+    WorstCase,
+    compute_accuracy,
+    compute_backend_accuracy,
+    percentile,
+)
 from .errors import ErrorSummary, relative_error, summarize_errors
 from .report import format_series_table, format_table
 from .plots import ascii_series_plot
 
 __all__ = [
+    "ACCURACY_FORMAT_VERSION",
+    "AccuracyReport",
+    "BackendAccuracy",
     "ErrorSummary",
+    "PhaseAccuracy",
+    "WorstCase",
+    "compute_accuracy",
+    "compute_backend_accuracy",
+    "percentile",
     "relative_error",
     "summarize_errors",
     "format_series_table",

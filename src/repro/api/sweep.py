@@ -56,11 +56,16 @@ class SweepPlan:
         return len(self.memory_hits) + len(self.store_hits)
 
     def describe(self) -> str:
-        """One-line human-readable plan summary."""
+        """One-line human-readable plan summary.
+
+        Reports where every already-answered point comes from — memory hits
+        and store hits separately, not just the missing-point count — so a
+        resumed sweep's log shows how much the persistent store saved.
+        """
         return (
             f"sweep {self.suite.name!r}: {self.total_points} points "
             f"({len(self.suite.scenarios)} scenarios x {len(self.backends)} backends), "
-            f"{len(self.memory_hits)} cached, {len(self.store_hits)} stored, "
+            f"{len(self.memory_hits)} memory hits, {len(self.store_hits)} store hits, "
             f"{len(self.missing)} to evaluate"
         )
 

@@ -10,6 +10,10 @@ main entry points of the library through the unified prediction API:
   against a baseline (the simulator by default);
 * ``sweep``    — evaluate a :class:`~repro.api.ScenarioSuite` JSON file
   across backends;
+* ``dashboard`` — sweep every backend over a named experiment grid, print
+  the per-backend error bands against the simulator (markdown table +
+  ``ACCURACY_DASHBOARD`` JSONL lines), and optionally gate the run against a
+  committed ``accuracy-baseline.json`` (nonzero exit on band drift);
 * ``simulate`` — run the YARN simulator and print per-job traces.
 
 ``predict`` / ``compare`` / ``sweep`` / ``figure`` accept ``--store PATH``
@@ -39,6 +43,20 @@ from .api import (
     SweepScheduler,
     WORKLOAD_PROFILES,
     backend_names,
+)
+from .api.dashboard import (
+    ARTIFACT_PREFIX,
+    DASHBOARD_BACKENDS,
+    DASHBOARD_GRIDS,
+    DEFAULT_MAX_ABS_TOLERANCE,
+    DEFAULT_MEAN_ABS_TOLERANCE,
+    AccuracyBaseline,
+    baseline_from_report,
+    compare_to_baseline,
+    render_jsonl,
+    render_markdown,
+    run_dashboard,
+    write_artifacts,
 )
 from .core.estimators import EstimatorKind
 from .exceptions import ReproError, ValidationError
@@ -229,6 +247,55 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_dashboard(args: argparse.Namespace) -> int:
+    backends = args.backend or list(DASHBOARD_BACKENDS)
+    service = _service_from_args(args, backends, max_workers=args.max_workers)
+    run = run_dashboard(
+        args.grid,
+        backends=backends,
+        service=service,
+        repetitions=args.repetitions,
+        base_seed=args.seed,
+        evaluate=not args.no_evaluate,
+    )
+    report = run.report
+    if run.outcome is not None:
+        print(run.outcome.plan.describe(), file=sys.stderr)
+    print(render_markdown(report))
+    for line in render_jsonl(report).splitlines():
+        print(f"{ARTIFACT_PREFIX} {line}")
+    if args.output is not None:
+        paths = write_artifacts(report, args.output)
+        print(
+            "artifacts: " + ", ".join(str(path) for path in paths.values()),
+            file=sys.stderr,
+        )
+    _print_store_summary(args, service)
+    if args.write_baseline is not None:
+        baseline = baseline_from_report(
+            report,
+            tolerance_mean_abs=args.tolerance_mean,
+            tolerance_max_abs=args.tolerance_max,
+        )
+        baseline.write(args.write_baseline)
+        print(f"accuracy baseline written to {args.write_baseline}", file=sys.stderr)
+        return 0
+    if args.baseline is not None:
+        baseline = AccuracyBaseline.load(args.baseline)
+        violations = compare_to_baseline(report, baseline)
+        if violations:
+            for violation in violations:
+                print(f"drift: {violation.describe()}", file=sys.stderr)
+            print(
+                f"accuracy gate FAILED against {args.baseline}: "
+                f"{len(violations)} violation(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"accuracy gate passed against {args.baseline}", file=sys.stderr)
+    return 0
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     scenario = _scenario_from_args(args)
     workload = scenario.workload_spec()
@@ -323,6 +390,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_service_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=_command_sweep)
+
+    dashboard_parser = subparsers.add_parser(
+        "dashboard",
+        help="per-backend accuracy bands over a named grid, gated on a baseline",
+    )
+    dashboard_parser.add_argument(
+        "--grid",
+        default="smoke",
+        choices=sorted(DASHBOARD_GRIDS),
+        help="experiment grid to sweep (paper = union of the evaluation figures)",
+    )
+    dashboard_parser.add_argument(
+        "--backend",
+        action="append",
+        choices=backend_names(),
+        help="backend to include (repeatable; default: all six registered)",
+    )
+    dashboard_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="committed accuracy-baseline.json to gate against "
+        "(exit 1 when any backend's error band drifts beyond tolerance)",
+    )
+    dashboard_parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="re-baseline: snapshot this run's bands to PATH instead of gating",
+    )
+    dashboard_parser.add_argument(
+        "--tolerance-mean",
+        type=float,
+        default=DEFAULT_MEAN_ABS_TOLERANCE,
+        help="tolerated mean-|error| drift recorded by --write-baseline "
+        "(error units; 0.02 = 2 percentage points)",
+    )
+    dashboard_parser.add_argument(
+        "--tolerance-max",
+        type=float,
+        default=DEFAULT_MAX_ABS_TOLERANCE,
+        help="tolerated max-|error| drift recorded by --write-baseline",
+    )
+    dashboard_parser.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="also write accuracy-dashboard.{jsonl,md,csv} artifacts to DIR",
+    )
+    dashboard_parser.add_argument(
+        "--no-evaluate",
+        action="store_true",
+        help="never evaluate: build the dashboard from the cache/store only "
+        "(missing backends degrade to 'incomplete')",
+    )
+    dashboard_parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=None,
+        help="simulator repetitions per point (default: 1 for smoke, 3 for paper)",
+    )
+    dashboard_parser.add_argument("--seed", type=int, default=1234)
+    dashboard_parser.add_argument(
+        "--max-workers", type=int, default=None, help="thread-pool size for the sweep"
+    )
+    _add_service_arguments(dashboard_parser)
+    dashboard_parser.set_defaults(handler=_command_dashboard)
 
     # simulate is one seeded raw run (per-job traces), so --repetitions —
     # which only affects the simulator *backend*'s median-of-N — is omitted.

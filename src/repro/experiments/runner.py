@@ -19,6 +19,7 @@ cache makes repeated figure runs (and overlapping sweeps) free.
 from __future__ import annotations
 
 import logging
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from ..analysis.errors import relative_error
@@ -28,6 +29,7 @@ from ..api import (
     ResultStore,
     Scenario,
     ScenarioSuite,
+    SweepOutcome,
     SweepScheduler,
 )
 from ..config import ClusterConfig, SchedulerConfig
@@ -223,6 +225,29 @@ def run_experiment_point(
     return _point_from_results(scenario, results)
 
 
+def run_suite_grid(
+    suite: ScenarioSuite,
+    backends: Sequence[str],
+    service: PredictionService | None = None,
+    store: ResultStore | str | None = None,
+    execution: str | None = None,
+) -> SweepOutcome:
+    """Schedule one ``suite × backends`` grid through the sweep scheduler.
+
+    This is the single grid-execution path shared by the figure series and
+    the accuracy dashboard: with a store-backed service, completed points
+    replay from disk and only the missing remainder is evaluated (the plan
+    is logged at debug level).
+    """
+    if service is None:
+        service = PredictionService(
+            backends=list(backends), store=store, execution=execution or "thread"
+        )
+    outcome = SweepScheduler(service).run(suite, backends)
+    logger.debug("%s", outcome.plan.describe())
+    return outcome
+
+
 def run_suite_series(
     suite: ScenarioSuite,
     x_label: str,
@@ -231,17 +256,14 @@ def run_suite_series(
     store: ResultStore | str | None = None,
     execution: str | None = None,
 ) -> ExperimentSeries:
-    """Evaluate a scenario suite (aligned with ``x_values``) into a series.
-
-    The suite is scheduled through :class:`~repro.api.SweepScheduler`: with a
-    store-backed service, completed points replay from disk and only the
-    missing remainder is evaluated (the plan is logged at debug level).
-    """
+    """Evaluate a scenario suite (aligned with ``x_values``) into a series."""
     if len(suite.scenarios) != len(x_values):
         raise ExperimentError("suite and x_values must align")
-    scheduler = SweepScheduler(_resolve_service(service, store=store, execution=execution))
-    outcome = scheduler.run(suite, POINT_BACKENDS)
-    logger.debug("%s", outcome.plan.describe())
+    outcome = run_suite_grid(
+        suite,
+        POINT_BACKENDS,
+        service=_resolve_service(service, store=store, execution=execution),
+    )
     series = ExperimentSeries(x_label=x_label, x_values=list(x_values))
     for scenario, row in zip(suite.scenarios, outcome.result.rows):
         series.points.append(_point_from_results(scenario, row))

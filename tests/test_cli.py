@@ -113,6 +113,32 @@ class TestSweep:
         assert main(["sweep", "--suite", str(tmp_path / "absent.json")]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_sweep_plan_line_reports_memory_and_store_hits(self, tmp_path, capsys):
+        suite = ScenarioSuite.from_sweep(
+            "cli-sweep-plan",
+            Scenario(input_size_bytes=megabytes(256), num_reduces=2, repetitions=1),
+            num_nodes=[2, 3],
+        )
+        suite_path = tmp_path / "suite.json"
+        suite_path.write_text(suite.to_json())
+        args = [
+            "sweep", "--suite", str(suite_path),
+            "--backend", "aria", "--store", str(tmp_path / "store"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().err
+        assert (
+            "sweep 'cli-sweep-plan': 2 points (2 scenarios x 1 backends), "
+            "0 memory hits, 0 store hits, 2 to evaluate"
+        ) in cold
+        # A fresh process over the same store: both points replay from disk.
+        assert main(args) == 0
+        warm = capsys.readouterr().err
+        assert (
+            "sweep 'cli-sweep-plan': 2 points (2 scenarios x 1 backends), "
+            "0 memory hits, 2 store hits, 0 to evaluate"
+        ) in warm
+
     def test_sweep_with_store_reuses_results_across_runs(self, tmp_path, capsys):
         suite = ScenarioSuite.from_sweep(
             "cli-sweep-store",

@@ -107,11 +107,14 @@ class TestSweepPlan:
         SweepScheduler(service).run(suite, ["aria"])
         assert service.stats().evaluations == 1  # evaluated once
 
-    def test_describe_mentions_counts(self):
-        service = PredictionService(backends=["aria"])
+    def test_describe_reports_every_hit_source(self, tmp_path):
+        service = PredictionService(backends=["aria"], store=tmp_path / "store")
+        service.evaluate_suite(ScenarioSuite("warm", SUITE.scenarios[:1]), ["aria"])
         text = SweepScheduler(service).plan(SUITE, ["aria"]).describe()
         assert "4 points" in text
-        assert "4 to evaluate" in text
+        assert "1 memory hits" in text
+        assert "0 store hits" in text
+        assert "3 to evaluate" in text
 
 
 class TestSweepRun:
