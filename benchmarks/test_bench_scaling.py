@@ -395,6 +395,104 @@ def test_bench_sweep_scheduler():
     assert warm.result.series("vianna") == cold.result.series("vianna")
 
 
+def test_bench_faulted_sweep():
+    """Sweep under 10% injected transient faults vs. the fault-free run.
+
+    The resilience-layer headline: with seeded fault injection at a 10%
+    transient rate, the retried sweep must finish complete, bit-identical to
+    the clean run, with zero duplicate evaluations (each point's backend
+    succeeds exactly once) and zero duplicate store records — and the retry
+    overhead must stay bounded (the faults are cheap, so wall-clock may not
+    exceed ~5x the clean run even on a noisy CI box).
+    """
+    from repro.api import ResultStore, RetryPolicy
+    from repro.testing import FaultInjector, FaultSpec, inject_backend_faults
+
+    backends = ["aria", "herodotou"]
+    node_counts = list(range(2, 10)) if _smoke_mode() else list(range(2, 34))
+    suite = ScenarioSuite.from_sweep(
+        "faulted-sweep",
+        Scenario(
+            workload="wordcount",
+            input_size_bytes=megabytes(512),
+            num_reduces=8,
+            repetitions=1,
+            seed=BENCH_SEED,
+        ),
+        num_nodes=node_counts,
+    )
+    points = len(suite) * len(backends)
+
+    fault_rate = 0.10
+    spec = FaultSpec(
+        transient_rate=fault_rate,
+        latency_rate=0.05,
+        latency_seconds=0.001,
+        seed=BENCH_SEED,
+    )
+    injector = FaultInjector(spec)
+    with tempfile.TemporaryDirectory() as clean_store, tempfile.TemporaryDirectory() as store_path:
+        # The clean run persists too, so the overhead ratio isolates the cost
+        # of injected faults + retries rather than store writes.
+        started = time.perf_counter()
+        clean = PredictionService(
+            backends=backends, store=clean_store, batch=False
+        ).evaluate_suite(suite, backends)
+        clean_seconds = time.perf_counter() - started
+
+        with inject_backend_faults("aria", injector), inject_backend_faults(
+            "herodotou", injector
+        ):
+            service = PredictionService(
+                backends=backends,
+                retry=RetryPolicy(
+                    max_attempts=6, base_delay=0.001, max_delay=0.01, seed=BENCH_SEED
+                ),
+                store=store_path,
+                batch=False,  # per-point injection exercises the retry loop
+            )
+            started = time.perf_counter()
+            faulted = service.evaluate_suite(suite, backends)
+            faulted_seconds = time.perf_counter() - started
+        stored_records = ResultStore(store_path).refresh().loaded
+
+    stats = service.stats()
+    record = {
+        "bench": "faulted_sweep",
+        "points": points,
+        "fault_rate": fault_rate,
+        "injected_transients": injector.injected.get("transient", 0),
+        "retries": stats.retries,
+        "failures": stats.failures,
+        "duplicate_evaluations": injector.duplicate_evaluations(),
+        "duplicate_records": stored_records - points,
+        "clean_seconds": clean_seconds,
+        "faulted_seconds": faulted_seconds,
+        "overhead": faulted_seconds / clean_seconds if clean_seconds > 0 else 0.0,
+    }
+    print()
+    _emit(record)
+    assert faulted.complete
+    for name in backends:
+        assert faulted.series(name) == clean.series(name), (
+            f"{name}: faulted sweep diverged from the fault-free run"
+        )
+    assert record["injected_transients"] > 0
+    assert record["retries"] == record["injected_transients"]
+    assert record["failures"] == 0
+    assert record["duplicate_evaluations"] == 0, "a point was evaluated twice"
+    assert record["duplicate_records"] == 0, "the store holds duplicate records"
+    # Bounded retry overhead: ~10% extra evaluations plus millisecond backoff
+    # must not blow up the sweep.  5x absorbs CI scheduler noise while still
+    # catching a retry storm (which would be 6x work before even counting
+    # backoff sleeps).
+    if not _smoke_mode():
+        assert record["overhead"] < 5.0, (
+            f"faulted sweep took {faulted_seconds:.2f}s vs {clean_seconds:.2f}s "
+            f"clean ({record['overhead']:.1f}x) — unbounded retry overhead?"
+        )
+
+
 def test_bench_overlap_mva_solve():
     record = time_overlap_mva_solve()
     record["bench"] = "overlap_mva_8n_2j"

@@ -16,7 +16,12 @@ prediction engines:
 * :class:`ResultStore` — a persistent, crash-tolerant result store keyed by
   ``(Scenario.cache_key(), backend)``, so sweeps survive process restarts;
 * :class:`SweepScheduler` — store-aware sweep planning: compute the missing
-  points of a target grid, execute only those, resume interrupted sweeps.
+  points of a target grid, execute only those, resume interrupted sweeps;
+* :class:`RetryPolicy` / :class:`BreakerPolicy` / :class:`CircuitBreaker` —
+  the resilience layer: bounded retries with deterministic backoff,
+  per-evaluation deadlines, per-backend circuit breaking, and the
+  ``on_error="raise" | "skip" | "record"`` partial-results contract whose
+  failures surface as structured :class:`FailedResult` rows.
 
 Quick example::
 
@@ -37,7 +42,15 @@ from .backends import (
     create_backend,
     register_backend,
 )
-from .results import BackendComparison, PredictionResult
+from .resilience import (
+    NO_RETRY,
+    ON_ERROR_MODES,
+    BreakerPolicy,
+    BreakerSnapshot,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from .results import BackendComparison, FailedResult, PredictionResult
 from .scenario import (
     SCENARIO_SPEC_VERSION,
     WORKLOAD_PROFILES,
@@ -52,17 +65,25 @@ from .service import (
     ServiceStats,
     SuiteResult,
 )
-from .store import STORE_FORMAT_VERSION, ResultStore, StoreStats
+from .store import QUARANTINE_DIR, STORE_FORMAT_VERSION, ResultStore, StoreStats
 from .sweep import SweepOutcome, SweepPlan, SweepScheduler
 
 __all__ = [
     "BackendComparison",
+    "BreakerPolicy",
+    "BreakerSnapshot",
+    "CircuitBreaker",
     "DEFAULT_BASELINE",
     "EXECUTION_MODES",
+    "FailedResult",
+    "NO_RETRY",
+    "ON_ERROR_MODES",
     "PredictionBackend",
     "PredictionResult",
     "PredictionService",
+    "QUARANTINE_DIR",
     "ResultStore",
+    "RetryPolicy",
     "SCENARIO_SPEC_VERSION",
     "STORE_FORMAT_VERSION",
     "Scenario",

@@ -178,6 +178,7 @@ def run_dashboard(
     repetitions: int | None = None,
     base_seed: int = 1234,
     evaluate: bool = True,
+    on_error: str | None = None,
 ) -> DashboardRun:
     """Sweep a dashboard grid across ``backends`` and compute the error bands.
 
@@ -191,6 +192,13 @@ def run_dashboard(
     (or points) the store has never seen degrade their rows to
     ``status="incomplete"`` instead of crashing — useful for inspecting a
     store written by someone else without paying for the missing points.
+
+    ``on_error`` is the partial-results contract of the underlying sweep
+    (see :meth:`~repro.api.service.PredictionService.evaluate_suite`): with
+    ``"skip"`` or ``"record"``, points that fail terminally degrade the
+    affected backend's row to ``status="incomplete"`` instead of killing
+    the dashboard — a permanently failing backend reports as incomplete
+    while every healthy backend still gets its error band.
     """
     suite = (
         grid
@@ -208,8 +216,15 @@ def run_dashboard(
             batch=batch,
         )
     if evaluate:
-        outcome = run_suite_grid(suite, names, service=service)
-        report = _report_from_rows(suite, names, outcome.result.rows, baseline)
+        outcome = run_suite_grid(suite, names, service=service, on_error=on_error)
+        # Failed cells (on_error="record") carry no estimate; dropping them
+        # here turns them into missing points, which compute_accuracy
+        # degrades to status="incomplete" per backend.
+        rows = [
+            {name: result for name, result in row.items() if result.ok}
+            for row in outcome.result.rows
+        ]
+        report = _report_from_rows(suite, names, rows, baseline)
         return DashboardRun(
             suite=suite, backends=names, report=report, outcome=outcome
         )

@@ -1,0 +1,295 @@
+"""Resilience primitives for the prediction service: retries and breakers.
+
+The service's north star is serving sweeps like a long-running daemon, and a
+daemon cannot treat every transient hiccup as fatal.  This module holds the
+two policy objects the :class:`~repro.api.service.PredictionService` threads
+through its evaluation paths:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *deterministic* seeded jitter.  Determinism matters here more than in a
+  typical client library: the reproduction's contract is that a sweep's
+  numbers (and, under fault injection, its schedule) are a pure function of
+  the scenario and the seed, so the jitter is derived from a hash of
+  ``(seed, point key, attempt)`` instead of a global RNG.
+* :class:`BreakerPolicy` / :class:`CircuitBreaker` — a per-backend circuit
+  breaker over a rolling window of call outcomes.  A backend that fails
+  persistently is cut off (``open``), probed again after a cooldown
+  (``half-open``), and readmitted on a successful probe (``closed``).
+  Rejections raise :class:`~repro.exceptions.CircuitOpenError`, which the
+  retry policy classifies as fatal so retries never hammer an open breaker.
+
+Both policies are frozen dataclasses: sharing one across services is safe,
+and the breaker keeps all mutable state behind its own lock with an
+injectable clock so tests can drive the cooldown without sleeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..exceptions import (
+    CircuitOpenError,
+    TransientError,
+    ValidationError,
+)
+
+#: Accepted values of the suite-evaluation ``on_error`` contract:
+#: ``raise`` propagates the first failure (after in-flight points finish and
+#: persist), ``skip`` omits failed points from the result rows, ``record``
+#: replaces them with structured :class:`~repro.api.results.FailedResult`s.
+ON_ERROR_MODES = ("raise", "skip", "record")
+
+#: Circuit-breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter."""
+
+    #: Total attempts including the first one; ``1`` disables retries.
+    max_attempts: int = 3
+    #: Backoff before the first retry, in seconds.
+    base_delay: float = 0.05
+    #: Multiplier applied per further retry (``base * factor ** (n - 1)``).
+    backoff_factor: float = 2.0
+    #: Upper bound on any single backoff delay, in seconds.
+    max_delay: float = 2.0
+    #: Fraction of the delay subtracted as jitter (0 = none, 1 = full).
+    jitter: float = 0.5
+    #: Seed folded into the jitter hash; same seed → same schedule.
+    seed: int = 0
+    #: Exception types worth retrying.  ``OSError`` covers the connection
+    #: and interrupted-call family; :class:`TransientError` covers
+    #: deliberate transient classifications (timeouts included, as
+    #: ``EvaluationTimeoutError`` subclasses it).
+    retryable: tuple[type[BaseException], ...] = (
+        TransientError,
+        TimeoutError,
+        ConnectionError,
+        InterruptedError,
+    )
+    #: Exception types never retried, checked *before* ``retryable`` so a
+    #: fatal subclass of a retryable type stays fatal.
+    fatal: tuple[type[BaseException], ...] = (CircuitOpenError, ValidationError)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValidationError("retry delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValidationError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @classmethod
+    def resolve(cls, retry: "RetryPolicy | int | None") -> "RetryPolicy":
+        """Normalise a service's ``retry`` argument into a policy.
+
+        ``None`` and ``0`` mean "no retries" (single attempt); an integer
+        ``n`` means "n retries after the first attempt"; a policy passes
+        through unchanged.
+        """
+        if retry is None:
+            return NO_RETRY
+        if isinstance(retry, RetryPolicy):
+            return retry
+        if isinstance(retry, bool) or not isinstance(retry, int):
+            raise ValidationError(
+                f"retry must be a RetryPolicy, an int, or None, got {retry!r}"
+            )
+        if retry < 0:
+            raise ValidationError(f"retry count must be >= 0, got {retry}")
+        if retry == 0:
+            return NO_RETRY
+        return cls(max_attempts=retry + 1)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is worth another attempt under this policy."""
+        if isinstance(exc, self.fatal):
+            return False
+        return isinstance(exc, self.retryable)
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based), in seconds.
+
+        The jitter is a deterministic function of ``(seed, key, attempt)``:
+        distinct points desynchronise (no thundering herd on a shared
+        resource) while the schedule of any single point is reproducible.
+        """
+        if attempt < 1:
+            raise ValidationError(f"attempt must be >= 1, got {attempt}")
+        base = min(self.max_delay, self.base_delay * self.backoff_factor ** (attempt - 1))
+        if base <= 0 or self.jitter == 0:
+            return base
+        digest = hashlib.sha256(f"{self.seed}:{key}:{attempt}".encode()).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (1.0 - self.jitter * fraction)
+
+
+#: Single-attempt policy: the service's default (retries are opt-in).
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Thresholds governing a per-backend :class:`CircuitBreaker`."""
+
+    #: Failure rate over the rolling window at which the breaker trips.
+    failure_threshold: float = 0.5
+    #: Number of most-recent call outcomes the failure rate is computed over.
+    window: int = 10
+    #: Minimum outcomes in the window before the rate is trusted at all
+    #: (a single failure out of one call is not a 100%-failing backend).
+    min_calls: int = 5
+    #: Seconds an open breaker waits before readmitting probe calls.
+    cooldown_seconds: float = 30.0
+    #: Concurrent probe calls admitted while half-open.
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValidationError(
+                f"failure_threshold must be in (0, 1], got {self.failure_threshold}"
+            )
+        if self.window < 1 or self.min_calls < 1 or self.half_open_probes < 1:
+            raise ValidationError("window, min_calls and half_open_probes must be >= 1")
+        if self.cooldown_seconds < 0:
+            raise ValidationError("cooldown_seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class BreakerSnapshot:
+    """One point-in-time view of a breaker (for ``stats()`` and logs)."""
+
+    name: str
+    state: str
+    trips: int
+    #: Outcomes currently in the rolling window.
+    window_calls: int
+    window_failures: int
+    #: Calls rejected while the breaker was open or saturated half-open.
+    rejections: int
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over a rolling outcome window.
+
+    Thread-safe; time is read through the injectable ``clock`` so tests can
+    advance the cooldown synthetically.
+    """
+
+    def __init__(
+        self,
+        policy: BreakerPolicy | None = None,
+        name: str = "",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._policy = policy or BreakerPolicy()
+        self._name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._window: deque[bool] = deque(maxlen=self._policy.window)
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._trips = 0
+        self._rejections = 0
+
+    @property
+    def name(self) -> str:
+        """The backend this breaker guards."""
+        return self._name
+
+    @property
+    def state(self) -> str:
+        """Current state, cooldown transitions applied."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> None:
+        """Admit one call or raise :class:`CircuitOpenError`."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == BREAKER_OPEN:
+                self._rejections += 1
+                remaining = self._policy.cooldown_seconds - (
+                    self._clock() - self._opened_at
+                )
+                raise CircuitOpenError(
+                    f"circuit breaker for backend {self._name!r} is open "
+                    f"(retry in {max(0.0, remaining):.1f}s)"
+                )
+            if self._state == BREAKER_HALF_OPEN:
+                if self._probes_in_flight >= self._policy.half_open_probes:
+                    self._rejections += 1
+                    raise CircuitOpenError(
+                        f"circuit breaker for backend {self._name!r} is half-open "
+                        "and its probe slots are taken"
+                    )
+                self._probes_in_flight += 1
+
+    def record_success(self) -> None:
+        """Note a successful call; a half-open probe success closes the breaker."""
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                self._state = BREAKER_CLOSED
+                self._window.clear()
+                self._probes_in_flight = 0
+            else:
+                self._window.append(True)
+
+    def record_failure(self) -> None:
+        """Note a failed call; may trip the breaker (back) open."""
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                self._trip()
+                return
+            if self._state == BREAKER_OPEN:
+                return
+            self._window.append(False)
+            failures = sum(1 for ok in self._window if not ok)
+            if (
+                len(self._window) >= self._policy.min_calls
+                and failures / len(self._window) >= self._policy.failure_threshold
+            ):
+                self._trip()
+
+    def snapshot(self) -> BreakerSnapshot:
+        """Consistent view of state and counters."""
+        with self._lock:
+            self._maybe_half_open()
+            return BreakerSnapshot(
+                name=self._name,
+                state=self._state,
+                trips=self._trips,
+                window_calls=len(self._window),
+                window_failures=sum(1 for ok in self._window if not ok),
+                rejections=self._rejections,
+            )
+
+    # -- internals (call with self._lock held) --------------------------------
+
+    def _trip(self) -> None:
+        self._state = BREAKER_OPEN
+        self._opened_at = self._clock()
+        self._trips += 1
+        self._probes_in_flight = 0
+        self._window.clear()
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == BREAKER_OPEN
+            and self._clock() - self._opened_at >= self._policy.cooldown_seconds
+        ):
+            self._state = BREAKER_HALF_OPEN
+            self._probes_in_flight = 0

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Any
+from typing import Any, ClassVar
 
 from ..analysis.errors import relative_error
 from ..exceptions import ValidationError
@@ -38,6 +38,10 @@ def _json_normalise(value: Any) -> Any:
 @dataclass(frozen=True)
 class PredictionResult:
     """Outcome of evaluating one scenario with one backend."""
+
+    #: Successful results answer ``True``; :class:`FailedResult` answers
+    #: ``False``.  Grid consumers use this to keep mixed rows structural.
+    ok: ClassVar[bool] = True
 
     backend: str
     scenario: Scenario
@@ -96,6 +100,56 @@ class PredictionResult:
             f"{name}={seconds:.2f}s" for name, seconds in self.phases.items()
         )
         return f"[{self.backend}] total={self.total_seconds:.2f}s ({phases})"
+
+
+@dataclass(frozen=True)
+class FailedResult:
+    """Structured record of one (scenario, backend) evaluation that failed.
+
+    Under the suite-evaluation ``on_error="record"`` contract a point that
+    exhausts its retries (or hits an open circuit breaker) lands in the
+    result grid as one of these instead of aborting the sweep.  It mirrors
+    enough of :class:`PredictionResult`'s surface — ``backend``,
+    ``scenario``, a ``total_seconds`` of NaN, an empty phase breakdown — for
+    grid consumers (series extraction, accuracy reports) to handle mixed
+    rows structurally; the ``ok`` flag tells the two apart.  Failed results
+    are never persisted to the store: a later run re-attempts the point.
+    """
+
+    ok: ClassVar[bool] = False
+
+    backend: str
+    scenario: Scenario
+    #: Exception class name of the final failure (e.g. ``"TransientError"``).
+    error_type: str
+    #: Final failure message.
+    error: str
+    #: Attempts consumed (1 = no retries were possible or configured).
+    attempts: int = 1
+    #: NaN: a failed point contributes no estimate to a series.
+    total_seconds: float = float("nan")
+    phases: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "phases", MappingProxyType(dict(self.phases)))
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view (mirrors :meth:`PredictionResult.to_dict`)."""
+        return {
+            "failed": True,
+            "backend": self.backend,
+            "scenario": self.scenario.to_dict(),
+            "error_type": self.error_type,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"[{self.backend}] FAILED after {self.attempts} attempt(s): "
+            f"{self.error_type}: {self.error}"
+        )
 
 
 @dataclass(frozen=True)

@@ -21,20 +21,40 @@ runner, and library users share.  It
 Results are deterministic in every mode because every backend derives its
 seeds from the scenario alone; the execution-mode equivalence tests pin this
 down backend by backend.
+
+Failures are expected events, not crashes.  The service threads a
+:class:`~repro.api.resilience.RetryPolicy` (bounded retries, deterministic
+backoff), optional per-evaluation deadlines, and per-backend
+:class:`~repro.api.resilience.CircuitBreaker`\\ s through every evaluation
+path, and degrades along a ladder instead of dying: a failed batch dispatch
+falls back to the scalar path, a crashed process pool is rebuilt once and
+then replaced by threads (observably — counted and warned), and a point that
+exhausts its retries becomes a structured
+:class:`~repro.api.results.FailedResult` under the suite-level
+``on_error="raise" | "skip" | "record"`` contract.
 """
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import multiprocessing
 import os
+import sys
 import threading
+import time
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
-from ..exceptions import BackendError, StoreError, ValidationError
+from ..exceptions import (
+    BackendError,
+    CircuitOpenError,
+    EvaluationTimeoutError,
+    StoreError,
+    ValidationError,
+)
 from .backends import (
     PredictionBackend,
     backend_is_cpu_bound,
@@ -42,7 +62,14 @@ from .backends import (
     backend_supports_batch,
     create_backend,
 )
-from .results import BackendComparison, PredictionResult
+from .resilience import (
+    ON_ERROR_MODES,
+    BreakerPolicy,
+    BreakerSnapshot,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from .results import BackendComparison, FailedResult, PredictionResult
 from .scenario import Scenario, ScenarioSuite
 from .store import ResultStore
 
@@ -66,6 +93,23 @@ def _predict_in_subprocess(scenario_data: dict, backend: str, options: dict) -> 
     return create_backend(backend, **options).predict(scenario).to_dict()
 
 
+class _ProcessPoolState:
+    """One sweep's process pool plus its crash-recovery budget.
+
+    Shared by every worker thread of a sweep: when the pool breaks, the
+    first thread through :meth:`PredictionService._handle_pool_failure`
+    swaps in a replacement (or ``None``, degrading to in-process execution)
+    and the rest observe the change through this holder.
+    """
+
+    __slots__ = ("lock", "pool", "rebuilds")
+
+    def __init__(self, pool: ProcessPoolExecutor | None) -> None:
+        self.lock = threading.Lock()
+        self.pool = pool
+        self.rebuilds = 0
+
+
 @dataclass(frozen=True)
 class ServiceStats:
     """Where the service's answers came from (one snapshot)."""
@@ -81,6 +125,30 @@ class ServiceStats:
     #: Scenarios evaluated through those batch dispatches (each also counts
     #: as one evaluation in :attr:`evaluations`).
     batch_points: int = 0
+    #: Re-attempts of failed evaluations (one per extra attempt, not per point).
+    retries: int = 0
+    #: Points whose evaluation failed terminally (retries exhausted or fatal).
+    failures: int = 0
+    #: Evaluations that exceeded the configured per-evaluation deadline.
+    timeouts: int = 0
+    #: Batch dispatches that failed and fell back to the per-scenario path.
+    batch_fallbacks: int = 0
+    #: Crashed process pools that were rebuilt (at most once per sweep).
+    pool_rebuilds: int = 0
+    #: Times process execution degraded to threads (pool unavailable or
+    #: crashed past its rebuild budget).
+    pool_fallbacks: int = 0
+    #: Circuit-breaker trips across all backends (closed/half-open → open).
+    breaker_trips: int = 0
+
+    def delta(self, since: "ServiceStats") -> "ServiceStats":
+        """Counters accumulated between ``since`` and this snapshot."""
+        return ServiceStats(
+            **{
+                spec.name: getattr(self, spec.name) - getattr(since, spec.name)
+                for spec in fields(ServiceStats)
+            }
+        )
 
 
 @dataclass(frozen=True)
@@ -89,16 +157,44 @@ class SuiteResult:
 
     suite: ScenarioSuite
     backends: tuple[str, ...]
-    #: One ``{backend: result}`` mapping per scenario, in suite order.
+    #: One ``{backend: result}`` mapping per scenario, in suite order.  Under
+    #: ``on_error="record"`` a cell may hold a
+    #: :class:`~repro.api.results.FailedResult`; under ``on_error="skip"``
+    #: failed cells are simply absent from their row.
     rows: tuple[dict[str, PredictionResult], ...]
 
     def series(self, backend: str) -> list[float]:
-        """The ``total_seconds`` series of one backend across the suite."""
+        """The ``total_seconds`` series of one backend across the suite.
+
+        Failed points contribute NaN: a recorded failure carries a NaN
+        ``total_seconds`` and a skipped point is absent from its row.
+        """
         if backend not in self.backends:
             raise BackendError(
                 f"backend {backend!r} was not evaluated; have: {list(self.backends)}"
             )
-        return [row[backend].total_seconds for row in self.rows]
+        return [
+            row[backend].total_seconds if backend in row else float("nan")
+            for row in self.rows
+        ]
+
+    def failures(self) -> list[tuple[int, str, FailedResult]]:
+        """All recorded failures as ``(scenario index, backend, failure)``."""
+        return [
+            (index, name, result)
+            for index, row in enumerate(self.rows)
+            for name, result in row.items()
+            if not result.ok
+        ]
+
+    @property
+    def complete(self) -> bool:
+        """Whether every (scenario, backend) cell holds a successful result."""
+        return all(
+            name in row and row[name].ok
+            for row in self.rows
+            for name in self.backends
+        )
 
     def to_dict(self) -> dict:
         """JSON-serialisable view of the whole grid."""
@@ -124,11 +220,21 @@ class PredictionService:
         store: ResultStore | str | os.PathLike | None = None,
         execution: str = "thread",
         batch: bool = True,
+        retry: RetryPolicy | int | None = None,
+        timeout: float | None = None,
+        breaker: BreakerPolicy | None = None,
+        on_error: str = "raise",
     ) -> None:
         if execution not in EXECUTION_MODES:
             raise ValidationError(
                 f"unknown execution mode {execution!r}; known: {list(EXECUTION_MODES)}"
             )
+        if on_error not in ON_ERROR_MODES:
+            raise ValidationError(
+                f"unknown on_error mode {on_error!r}; known: {list(ON_ERROR_MODES)}"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ValidationError(f"timeout must be positive, got {timeout}")
         self._backend_options = dict(backend_options or {})
         names = list(backends) if backends is not None else backend_names()
         self._backends: dict[str, PredictionBackend] = {
@@ -147,6 +253,11 @@ class PredictionService:
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
         self._store = store
+        self._retry = RetryPolicy.resolve(retry)
+        self._timeout = timeout
+        self._breaker_policy = breaker
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._on_error = on_error
         # All counters below are read and written ONLY under ``self._lock``;
         # thread- and process-mode sweeps bump them from pool threads, so an
         # unlocked increment would drop updates.
@@ -155,6 +266,13 @@ class PredictionService:
         self._evaluations = 0
         self._batch_calls = 0
         self._batch_points = 0
+        self._retries = 0
+        self._failures = 0
+        self._timeouts = 0
+        self._batch_fallbacks = 0
+        self._pool_rebuilds = 0
+        self._pool_fallbacks = 0
+        self._pool_fallback_warned = False
 
     # -- introspection --------------------------------------------------------
 
@@ -179,7 +297,13 @@ class PredictionService:
         return self._batch_enabled
 
     def stats(self) -> ServiceStats:
-        """Snapshot of cache-hit / store-hit / evaluation / batch counters."""
+        """Snapshot of cache / evaluation / batch / resilience counters."""
+        # Breaker trips live in the breakers (each behind its own lock);
+        # collect the breaker list under the service lock but sum the trips
+        # outside it so the two lock families never nest.
+        with self._lock:
+            breakers = list(self._breakers.values())
+        breaker_trips = sum(b.snapshot().trips for b in breakers)
         with self._lock:
             return ServiceStats(
                 memory_hits=self._memory_hits,
@@ -187,7 +311,20 @@ class PredictionService:
                 evaluations=self._evaluations,
                 batch_calls=self._batch_calls,
                 batch_points=self._batch_points,
+                retries=self._retries,
+                failures=self._failures,
+                timeouts=self._timeouts,
+                batch_fallbacks=self._batch_fallbacks,
+                pool_rebuilds=self._pool_rebuilds,
+                pool_fallbacks=self._pool_fallbacks,
+                breaker_trips=breaker_trips,
             )
+
+    def breakers(self) -> dict[str, BreakerSnapshot]:
+        """Per-backend circuit-breaker snapshots (empty without a policy)."""
+        with self._lock:
+            named = dict(self._breakers)
+        return {name: breaker.snapshot() for name, breaker in named.items()}
 
     def cache_size(self) -> int:
         """Number of memoised (scenario, backend) evaluations."""
@@ -250,46 +387,239 @@ class PredictionService:
                 # than killing a long sweep halfway through.
                 logger.warning("could not persist result for %s: %s", key[1], exc)
 
+    def _breaker_for(self, backend: str) -> CircuitBreaker | None:
+        if self._breaker_policy is None:
+            return None
+        with self._lock:
+            breaker = self._breakers.get(backend)
+            if breaker is None:
+                breaker = CircuitBreaker(self._breaker_policy, name=backend)
+                self._breakers[backend] = breaker
+            return breaker
+
     def evaluate(self, scenario: Scenario, backend: str) -> PredictionResult:
-        """Evaluate one scenario with one backend (cached, store-backed)."""
+        """Evaluate one scenario with one backend (cached, store-backed).
+
+        Runs under the service's retry policy, deadline, and circuit breaker
+        (all no-ops unless configured); terminal failures raise.
+        """
+        return self._evaluate_resilient(scenario, backend, None)
+
+    def _evaluate_resilient(
+        self,
+        scenario: Scenario,
+        backend: str,
+        holder: "_ProcessPoolState | None",
+        info: dict | None = None,
+    ) -> PredictionResult:
+        """Lookup, then attempt under the retry policy and circuit breaker.
+
+        ``info`` (when given) receives the attempt count, so the caller can
+        attribute a terminal failure without re-deriving it.
+        """
         key = (scenario.cache_key(), backend)
         cached = self._lookup(key)
         if cached is not None:
             return cached
+        policy = self._retry
+        breaker = self._breaker_for(backend)
+        attempt = 0
+        while True:
+            attempt += 1
+            if info is not None:
+                info["attempts"] = attempt
+            try:
+                if breaker is not None:
+                    breaker.allow()
+                result = self._attempt(scenario, backend, holder)
+            except Exception as exc:
+                if breaker is not None and not isinstance(exc, CircuitOpenError):
+                    breaker.record_failure()
+                if attempt < policy.max_attempts and policy.is_retryable(exc):
+                    with self._lock:
+                        self._retries += 1
+                    delay = policy.delay(attempt, key=key[0])
+                    logger.warning(
+                        "attempt %d/%d for backend %s failed (%s); retrying in %.3fs",
+                        attempt,
+                        policy.max_attempts,
+                        backend,
+                        exc,
+                        delay,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                with self._lock:
+                    self._failures += 1
+                raise
+            if breaker is not None:
+                breaker.record_success()
+            self._record_evaluation(key, result)
+            return result
+
+    def _attempt(
+        self, scenario: Scenario, backend: str, holder: "_ProcessPoolState | None"
+    ) -> PredictionResult:
+        """One evaluation attempt, routed per the execution resources at hand."""
+        if (
+            holder is not None
+            and holder.pool is not None
+            and backend_is_cpu_bound(backend)
+        ):
+            return self._attempt_in_pool(scenario, backend, holder)
+        return self._attempt_in_process(scenario, backend)
+
+    def _attempt_in_process(self, scenario: Scenario, backend: str) -> PredictionResult:
+        """In-process attempt with a cooperative (post-hoc) deadline check.
+
+        Threads cannot be preempted, so serial/thread-mode deadlines are
+        enforced after the fact: a result that arrives past the deadline is
+        discarded and counted as a timeout, keeping the deadline contract
+        uniform across execution modes (at the price of the wasted work).
+        """
+        started = time.monotonic()
         result = self._backend(backend).predict(scenario)
-        self._record_evaluation(key, result)
+        if self._timeout is not None:
+            elapsed = time.monotonic() - started
+            if elapsed > self._timeout:
+                with self._lock:
+                    self._timeouts += 1
+                raise EvaluationTimeoutError(
+                    f"evaluation of backend {backend!r} took {elapsed:.3f}s, "
+                    f"over the {self._timeout}s deadline"
+                )
         return result
 
-    def _evaluate_via_process(
-        self, scenario: Scenario, backend: str, pool: ProcessPoolExecutor
+    def _attempt_in_pool(
+        self, scenario: Scenario, backend: str, holder: "_ProcessPoolState"
     ) -> PredictionResult:
-        """Evaluate one point in the process pool, falling back to in-process."""
-        key = (scenario.cache_key(), backend)
-        cached = self._lookup(key)
-        if cached is not None:
-            return cached
+        """One attempt in the process pool, riding the degradation ladder.
+
+        A crashed pool is handed to :meth:`_handle_pool_failure` (rebuild
+        once, then degrade to threads) and the attempt is re-routed; each
+        loop iteration observes a *different* pool (or ``None``), so the
+        loop terminates within the holder's rebuild budget.
+        """
+        while True:
+            pool = holder.pool
+            if pool is None:
+                return self._attempt_in_process(scenario, backend)
+            try:
+                future = pool.submit(
+                    _predict_in_subprocess,
+                    scenario.to_dict(),
+                    backend,
+                    self._backend_options.get(backend, {}),
+                )
+            except Exception as exc:  # a broken/shut-down pool rejects submissions
+                self._handle_pool_failure(holder, pool, exc)
+                continue
+            try:
+                if self._timeout is None:
+                    payload = future.result()
+                else:
+                    payload = future.result(timeout=self._timeout)
+            except TimeoutError as exc:
+                if self._timeout is None:
+                    raise  # a worker-raised timeout, not our deadline
+                future.cancel()
+                with self._lock:
+                    self._timeouts += 1
+                raise EvaluationTimeoutError(
+                    f"evaluation of backend {backend!r} exceeded the "
+                    f"{self._timeout}s deadline"
+                ) from exc
+            except (BrokenProcessPool, OSError) as exc:
+                # A dead worker breaks the whole pool; every in-flight future
+                # raises.  The first thread through rebuilds (or retires) the
+                # pool, the rest observe the replacement and resubmit.
+                self._handle_pool_failure(holder, pool, exc)
+                continue
+            except (ValidationError, BackendError) as exc:
+                # Almost always a worker process lacking a runtime
+                # registration the parent has (spawn and forkserver start
+                # methods import a fresh registry); re-running in-process
+                # either succeeds with the parent's registry or raises the
+                # genuine application error.
+                logger.warning(
+                    "process-pool evaluation of %s failed (%s); running in-process",
+                    backend,
+                    exc,
+                )
+                return self._attempt_in_process(scenario, backend)
+            return PredictionResult.from_dict(payload)
+
+    def _handle_pool_failure(
+        self, holder: "_ProcessPoolState", pool: ProcessPoolExecutor, exc: BaseException
+    ) -> None:
+        """Degradation ladder for a crashed pool: rebuild once, then threads."""
+        with holder.lock:
+            if holder.pool is not pool:
+                return  # another thread already handled this crash
+            with contextlib.suppress(Exception):
+                pool.shutdown(wait=False, cancel_futures=True)
+            if holder.rebuilds < 1:
+                holder.rebuilds += 1
+                with self._lock:
+                    self._pool_rebuilds += 1
+                logger.warning(
+                    "process pool crashed (%s); rebuilding it once", exc
+                )
+                holder.pool = self._build_process_pool()
+                if holder.pool is None:
+                    self._note_pool_fallback(
+                        f"process pool could not be rebuilt after a crash ({exc})"
+                    )
+            else:
+                holder.pool = None
+                self._note_pool_fallback(
+                    f"process pool crashed past its rebuild budget ({exc})"
+                )
+
+    def _note_pool_fallback(self, reason: str) -> None:
+        """Count (and warn once per service, on stderr) a pool→thread fallback."""
+        with self._lock:
+            self._pool_fallbacks += 1
+            already_warned = self._pool_fallback_warned
+            self._pool_fallback_warned = True
+        logger.warning("%s; degrading to thread execution", reason)
+        if not already_warned:
+            print(
+                f"repro: {reason}; degrading to thread execution",
+                file=sys.stderr,
+            )
+
+    def _evaluate_guarded(
+        self,
+        scenario: Scenario,
+        backend: str,
+        holder: "_ProcessPoolState | None",
+        on_error: str,
+    ) -> PredictionResult | FailedResult | None:
+        """One point under the ``on_error`` contract; ``None`` means skipped."""
+        info: dict = {"attempts": 0}
         try:
-            payload = pool.submit(
-                _predict_in_subprocess,
-                scenario.to_dict(),
-                backend,
-                self._backend_options.get(backend, {}),
-            ).result()
-        except (BrokenProcessPool, OSError, ValidationError, BackendError) as exc:
-            # ValidationError/BackendError here almost always mean the worker
-            # process lacks a runtime registration the parent has (spawn and
-            # forkserver start methods import a fresh registry); re-running
-            # in-process either succeeds with the parent's registry or raises
-            # the genuine application error.
+            return self._evaluate_resilient(scenario, backend, holder, info)
+        except Exception as exc:
+            if on_error == "raise":
+                raise
             logger.warning(
-                "process-pool evaluation of %s failed (%s); running in-process",
+                "point (%s, %s) failed terminally after %d attempt(s): %s",
+                scenario.describe(),
                 backend,
+                info["attempts"],
                 exc,
             )
-            return self.evaluate(scenario, backend)
-        result = PredictionResult.from_dict(payload)
-        self._record_evaluation(key, result)
-        return result
+            if on_error == "skip":
+                return None
+            return FailedResult(
+                backend=backend,
+                scenario=scenario,
+                error_type=type(exc).__name__,
+                error=str(exc),
+                attempts=max(1, info["attempts"]),
+            )
 
     def evaluate_many(
         self, scenario: Scenario, backends: Sequence[str] | None = None
@@ -300,10 +630,20 @@ class PredictionService:
         results = self._evaluate_unique({(key, name): scenario for name in names})
         return {name: results[(key, name)] for name in names}
 
+    def _resolve_on_error(self, on_error: str | None) -> str:
+        if on_error is None:
+            return self._on_error
+        if on_error not in ON_ERROR_MODES:
+            raise ValidationError(
+                f"unknown on_error mode {on_error!r}; known: {list(ON_ERROR_MODES)}"
+            )
+        return on_error
+
     def evaluate_suite(
         self,
         suite: ScenarioSuite,
         backends: Sequence[str] | None = None,
+        on_error: str | None = None,
     ) -> SuiteResult:
         """Evaluate every (scenario, backend) pair of a suite.
 
@@ -314,16 +654,28 @@ class PredictionService:
         ``predict_batch`` call, the rest fan out per the service's
         ``execution`` mode.  The partition is independent of the execution
         mode, so serial/thread/process sweeps stay numerically identical.
+
+        ``on_error`` (default: the service's configured mode) sets the
+        partial-results contract for points that fail terminally after the
+        retry/breaker ladder: ``"raise"`` propagates the first failure once
+        in-flight points have finished (and persisted), ``"skip"`` omits the
+        failed cells from their rows, ``"record"`` fills them with
+        structured :class:`~repro.api.results.FailedResult`\\ s.
         """
+        mode = self._resolve_on_error(on_error)
         names = tuple(backends) if backends is not None else tuple(self.backends())
         keys = [scenario.cache_key() for scenario in suite.scenarios]
         unique: dict[tuple[str, str], Scenario] = {}
         for index, scenario in enumerate(suite.scenarios):
             for name in names:
                 unique.setdefault((keys[index], name), scenario)
-        results = self._evaluate_points(unique)
+        results = self._evaluate_points(unique, mode)
         rows = tuple(
-            {name: results[(keys[index], name)] for name in names}
+            {
+                name: results[(keys[index], name)]
+                for name in names
+                if (keys[index], name) in results
+            }
             for index in range(len(suite.scenarios))
         )
         return SuiteResult(suite=suite, backends=names, rows=rows)
@@ -364,7 +716,7 @@ class PredictionService:
         return sources
 
     def _evaluate_points(
-        self, unique: dict[tuple[str, str], Scenario]
+        self, unique: dict[tuple[str, str], Scenario], on_error: str = "raise"
     ) -> dict[tuple[str, str], PredictionResult]:
         """Partition unique points into hits / batch groups / scalar tasks."""
         results: dict[tuple[str, str], PredictionResult] = {}
@@ -408,19 +760,40 @@ class PredictionService:
                 # ``predict`` monkeypatching in tests).
                 scalar.update(group)
                 continue
-            results.update(self._dispatch_batch(backend, group))
+            try:
+                batch_results = self._backend(backend).predict_batch(
+                    [scenario for _, scenario in group]
+                )
+            except Exception as exc:  # first rung of the degradation ladder
+                # The scalar path retries per point and records each result
+                # as it completes, so a batch that crashes mid-flight cannot
+                # lose the points that would have succeeded.
+                with self._lock:
+                    self._batch_fallbacks += 1
+                logger.warning(
+                    "batch dispatch of %d %s points failed (%s); "
+                    "falling back to the per-scenario path",
+                    len(group),
+                    backend,
+                    exc,
+                )
+                scalar.update(group)
+                continue
+            # A wrong result count is a malformed backend, not a transient
+            # fault: _record_batch raises it through (no scalar fallback,
+            # which would only mask the bug).
+            results.update(self._record_batch(backend, group, batch_results))
         if scalar:
-            results.update(self._evaluate_unique(scalar))
+            results.update(self._evaluate_unique(scalar, on_error))
         return results
 
-    def _dispatch_batch(
+    def _record_batch(
         self,
         backend: str,
         group: list[tuple[tuple[str, str], Scenario]],
+        batch_results: Sequence[PredictionResult],
     ) -> dict[tuple[str, str], PredictionResult]:
-        """One ``predict_batch`` call for all misses of one backend."""
-        scenarios = [scenario for _, scenario in group]
-        batch_results = self._backend(backend).predict_batch(scenarios)
+        """Validate and record the results of one ``predict_batch`` dispatch."""
         if len(batch_results) != len(group):
             raise BackendError(
                 f"backend {backend!r} returned {len(batch_results)} batch results "
@@ -438,44 +811,69 @@ class PredictionService:
     # -- executor layer -------------------------------------------------------
 
     def _evaluate_unique(
-        self, unique: dict[tuple[str, str], Scenario]
+        self, unique: dict[tuple[str, str], Scenario], on_error: str = "raise"
     ) -> dict[tuple[str, str], PredictionResult]:
         """Dispatch deduplicated (key, backend) tasks per the execution mode."""
         if self._execution == "serial" or len(unique) <= 1:
-            return {
-                key: self.evaluate(scenario, key[1])
-                for key, scenario in unique.items()
-            }
+            results: dict[tuple[str, str], PredictionResult] = {}
+            for key, scenario in unique.items():
+                outcome = self._evaluate_guarded(scenario, key[1], None, on_error)
+                if outcome is not None:
+                    results[key] = outcome
+            return results
+        holder: _ProcessPoolState | None = None
         if self._execution == "process":
-            pool = self._make_process_pool()
-            if pool is not None:
-                try:
-                    return self._evaluate_threaded(unique, process_pool=pool)
-                finally:
-                    pool.shutdown()
-        return self._evaluate_threaded(unique)
+            holder = _ProcessPoolState(self._make_process_pool())
+            if holder.pool is None:
+                holder = None
+        try:
+            return self._evaluate_threaded(unique, holder, on_error)
+        finally:
+            if holder is not None and holder.pool is not None:
+                holder.pool.shutdown()
 
     def _evaluate_threaded(
         self,
         unique: dict[tuple[str, str], Scenario],
-        process_pool: ProcessPoolExecutor | None = None,
+        holder: "_ProcessPoolState | None" = None,
+        on_error: str = "raise",
     ) -> dict[tuple[str, str], PredictionResult]:
-        """Thread-pool fan-out; CPU-bound tasks hop to ``process_pool`` if given."""
+        """Thread-pool fan-out; CPU-bound tasks hop to the process pool if given.
 
-        def run(key: tuple[str, str], scenario: Scenario) -> PredictionResult:
-            if process_pool is not None and backend_is_cpu_bound(key[1]):
-                return self._evaluate_via_process(scenario, key[1], process_pool)
-            return self.evaluate(scenario, key[1])
+        Every future is drained before any failure propagates: each point
+        that finished was already recorded (cache + store) the moment it
+        completed, so a mid-sweep failure under ``on_error="raise"`` loses
+        only the failing point and a store-backed re-run resumes from the
+        rest.
+        """
+
+        def run(
+            key: tuple[str, str], scenario: Scenario
+        ) -> PredictionResult | FailedResult | None:
+            return self._evaluate_guarded(scenario, key[1], holder, on_error)
 
         max_workers = self._max_workers or min(len(unique), (os.cpu_count() or 2))
+        results: dict[tuple[str, str], PredictionResult] = {}
+        first_error: BaseException | None = None
         with ThreadPoolExecutor(max_workers=max(1, max_workers)) as executor:
             futures = {
                 key: executor.submit(run, key, scenario)
                 for key, scenario in unique.items()
             }
-            return {key: future.result() for key, future in futures.items()}
+            for key, future in futures.items():
+                try:
+                    outcome = future.result()
+                except BaseException as exc:  # noqa: BLE001 — re-raised below
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                if outcome is not None:
+                    results[key] = outcome
+        if first_error is not None:
+            raise first_error
+        return results
 
-    def _make_process_pool(self) -> ProcessPoolExecutor | None:
+    def _build_process_pool(self) -> ProcessPoolExecutor | None:
         """A process pool, or ``None`` where subprocesses are unavailable.
 
         ``REPRO_MP_START_METHOD`` overrides the platform's multiprocessing
@@ -490,10 +888,15 @@ class PredictionService:
                 mp_context = multiprocessing.get_context(method)
             return ProcessPoolExecutor(max_workers=max(1, workers), mp_context=mp_context)
         except (NotImplementedError, ImportError, OSError, ValueError) as exc:
-            logger.warning(
-                "process pool unavailable (%s); falling back to thread execution", exc
-            )
+            logger.warning("process pool unavailable (%s)", exc)
             return None
+
+    def _make_process_pool(self) -> ProcessPoolExecutor | None:
+        """Build the sweep's process pool, observably degrading on failure."""
+        pool = self._build_process_pool()
+        if pool is None:
+            self._note_pool_fallback("process pool unavailable")
+        return pool
 
     def compare(
         self,

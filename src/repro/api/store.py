@@ -24,8 +24,11 @@ spec (:data:`~repro.api.scenario.SCENARIO_SPEC_VERSION`), and the producing
 backend's ``version`` attribute.  A record written under any other version is
 skipped as stale on load, so bumping a backend's version invalidates exactly
 that backend's cached results.  A truncated or garbled record file is never
-fatal: it is skipped, counted in :attr:`ResultStore.stats`, and logged; the
-next ``put`` of that point simply overwrites it.
+fatal: it is counted in :attr:`ResultStore.stats`, logged, and moved aside
+into the ``<store>/.quarantine/`` directory (reason prefixed to the file
+name) so corruption stays inspectable instead of silently vanishing; the
+next ``put`` of that point writes a fresh record.  Stale records are *not*
+quarantined — they are valid data for a different code version.
 """
 
 from __future__ import annotations
@@ -50,6 +53,9 @@ logger = logging.getLogger(__name__)
 
 #: Version of the on-disk record envelope; bump on layout changes.
 STORE_FORMAT_VERSION = 1
+
+#: Sibling directory corrupt records are moved into (reason-prefixed names).
+QUARANTINE_DIR = ".quarantine"
 
 #: Fields every record envelope must carry to be considered well-formed.
 _REQUIRED_FIELDS = (
@@ -97,6 +103,9 @@ class StoreStats:
     corrupt: int = 0
     #: Well-formed records written under a different format/spec/backend version.
     stale: int = 0
+    #: Corrupt records successfully moved into the quarantine directory
+    #: (at most :attr:`corrupt`; a quarantine move can itself fail).
+    quarantined: int = 0
 
 
 class ResultStore:
@@ -264,39 +273,70 @@ class ResultStore:
         digest = hashlib.sha256(f"{backend}\n{options_key}\n{key}".encode()).hexdigest()
         return self._records_dir / digest[:2] / f"{digest}.json"
 
-    @staticmethod
+    def _quarantine(self, path: Path, reason: str) -> Path | None:
+        """Move a corrupt record into ``.quarantine/`` (never fatal).
+
+        The file keeps its name with the corruption reason prefixed, so the
+        quarantine directory reads as a report.  Any OS-level failure (a
+        concurrent reader racing the same move, a read-only store) leaves
+        the record in place and is swallowed: quarantining is best-effort
+        bookkeeping on top of the skip-and-count contract, not part of it.
+        """
+        target_dir = self._path / QUARANTINE_DIR
+        target = target_dir / f"{reason}--{path.name}"
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            return None
+        return target
+
     def _read_record(
-        path: Path, stats: StoreStats
+        self, path: Path, stats: StoreStats
     ) -> tuple[str, str, str, PredictionResult] | None:
         """Parse one record file; corruption and staleness are never fatal."""
+
+        def corrupt(reason: str, detail: str = "") -> None:
+            stats.corrupt += 1
+            quarantined = self._quarantine(path, reason)
+            if quarantined is not None:
+                stats.quarantined += 1
+            logger.warning(
+                "skipping corrupt store record %s (%s%s)%s",
+                path,
+                reason,
+                f": {detail}" if detail else "",
+                f"; quarantined to {quarantined}" if quarantined else "",
+            )
+
         try:
             with open(path, encoding="utf-8") as handle:
                 record = json.load(handle)
         except FileNotFoundError:
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
-            stats.corrupt += 1
-            logger.warning("skipping corrupt store record %s: %s", path, exc)
+            corrupt("unreadable", str(exc))
             return None
         if not isinstance(record, dict) or any(
             field not in record for field in _REQUIRED_FIELDS
         ):
-            stats.corrupt += 1
-            logger.warning("skipping malformed store record %s", path)
+            corrupt("malformed")
             return None
         if (
             record["format"] != STORE_FORMAT_VERSION
             or record["spec_version"] != SCENARIO_SPEC_VERSION
             or record["backend_version"] != backend_version(record["backend"])
         ):
+            # Stale is not corrupt: the record is valid data for another
+            # code version and must survive in place (a downgrade, or a
+            # peer on an older version, can still use it).
             stats.stale += 1
             logger.info("skipping stale store record %s (version mismatch)", path)
             return None
         try:
             result = PredictionResult.from_dict(record["result"])
         except Exception as exc:  # noqa: BLE001 — any decode failure is corruption
-            stats.corrupt += 1
-            logger.warning("skipping undecodable store record %s: %s", path, exc)
+            corrupt("undecodable", str(exc))
             return None
         stats.loaded += 1
         return record["key"], record["backend"], record["options"], result

@@ -145,23 +145,24 @@ class SweepScheduler:
         )
 
     def run(
-        self, suite: ScenarioSuite, backends: Sequence[str] | None = None
+        self,
+        suite: ScenarioSuite,
+        backends: Sequence[str] | None = None,
+        on_error: str | None = None,
     ) -> SweepOutcome:
         """Plan, then evaluate — completed points replay, the rest execute.
 
         Re-running after an interruption (with a store attached) resumes the
         sweep: the plan shrinks to the unfinished remainder and only those
-        points are evaluated.
+        points are evaluated.  That resume contract also covers *failing*
+        runs: every completed point is persisted the moment it finishes, so
+        an exception escaping mid-run (``on_error="raise"``, the default)
+        loses only the failing points.  ``on_error="skip"`` / ``"record"``
+        instead finish the sweep with partial rows (see
+        :meth:`~repro.api.service.PredictionService.evaluate_suite`).
         """
         plan = self.plan(suite, backends)
         before = self._service.stats()
-        result = self._service.evaluate_suite(suite, plan.backends)
+        result = self._service.evaluate_suite(suite, plan.backends, on_error=on_error)
         after = self._service.stats()
-        delta = ServiceStats(
-            memory_hits=after.memory_hits - before.memory_hits,
-            store_hits=after.store_hits - before.store_hits,
-            evaluations=after.evaluations - before.evaluations,
-            batch_calls=after.batch_calls - before.batch_calls,
-            batch_points=after.batch_points - before.batch_points,
-        )
-        return SweepOutcome(plan=plan, result=result, stats=delta)
+        return SweepOutcome(plan=plan, result=result, stats=after.delta(before))

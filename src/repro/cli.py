@@ -18,9 +18,13 @@ main entry points of the library through the unified prediction API:
 
 ``predict`` / ``compare`` / ``sweep`` / ``figure`` accept ``--store PATH``
 (persist results across runs through a :class:`~repro.api.ResultStore`),
-``--execution {serial,thread,process}`` (suite fan-out strategy), and
+``--execution {serial,thread,process}`` (suite fan-out strategy),
 ``--no-batch`` (disable one-call ``predict_batch`` dispatch for the
-batch-capable analytic backends).  ``sweep`` schedules through
+batch-capable analytic backends), and the fault-tolerance knobs
+``--retries N`` (retry transient failures with exponential backoff),
+``--timeout SECONDS`` (per-evaluation deadline) and
+``--on-error {raise,skip,record}`` (partial-results contract for points
+that fail terminally).  ``sweep`` schedules through
 :class:`~repro.api.SweepScheduler`: it first reports how many grid points
 are already answered by the cache/store and evaluates only the missing ones,
 so an interrupted store-backed sweep resumes where it left off.
@@ -37,6 +41,7 @@ from pathlib import Path
 from .analysis import ascii_series_plot, format_series_table
 from .api import (
     EXECUTION_MODES,
+    ON_ERROR_MODES,
     PredictionService,
     Scenario,
     ScenarioSuite,
@@ -113,6 +118,30 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         help="evaluate suite points one by one instead of dispatching "
         "batch-capable backends in one vectorised call",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry transient evaluation failures up to N times "
+        "(exponential backoff with deterministic jitter; default: no retries)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-evaluation deadline; a timed-out point is retried "
+        "(if --retries allows) or reported as failed",
+    )
+    parser.add_argument(
+        "--on-error",
+        dest="on_error",
+        default="raise",
+        choices=ON_ERROR_MODES,
+        help="suite contract for points that fail terminally: raise aborts, "
+        "skip omits them, record keeps structured failure rows",
+    )
 
 
 def _service_from_args(
@@ -126,6 +155,9 @@ def _service_from_args(
         store=args.store,
         execution=args.execution,
         batch=not args.no_batch,
+        retry=args.retries,
+        timeout=args.timeout,
+        on_error=args.on_error,
     )
 
 
@@ -137,6 +169,29 @@ def _print_store_summary(args: argparse.Namespace, service: PredictionService) -
     print(
         f"store {args.store}: {stats.store_hits} store hits, "
         f"{stats.memory_hits} cache hits, {stats.evaluations} evaluated",
+        file=sys.stderr,
+    )
+
+
+def _print_resilience_summary(service: PredictionService) -> None:
+    """One stderr line on retries/failures/degradations — only when any fired."""
+    stats = service.stats()
+    noteworthy = (
+        stats.retries
+        or stats.failures
+        or stats.timeouts
+        or stats.batch_fallbacks
+        or stats.pool_rebuilds
+        or stats.pool_fallbacks
+        or stats.breaker_trips
+    )
+    if not noteworthy:
+        return
+    print(
+        f"resilience: {stats.retries} retries, {stats.failures} failed points, "
+        f"{stats.timeouts} timeouts, {stats.batch_fallbacks} batch fallbacks, "
+        f"{stats.pool_rebuilds} pool rebuilds, {stats.pool_fallbacks} pool "
+        f"fallbacks, {stats.breaker_trips} breaker trips",
         file=sys.stderr,
     )
 
@@ -241,10 +296,21 @@ def _command_sweep(args: argparse.Namespace) -> int:
     header = f"{'scenario':<42}" + "".join(f"{name:>14}" for name in backends)
     print(header)
     for scenario, row in zip(suite.scenarios, suite_result.rows):
-        cells = "".join(f"{row[name].total_seconds:>14.2f}" for name in backends)
+        cells = "".join(_sweep_cell(row, name) for name in backends)
         print(f"{scenario.describe():<42}{cells}")
     _print_store_summary(args, service)
+    _print_resilience_summary(service)
     return 0
+
+
+def _sweep_cell(row: dict, name: str) -> str:
+    """One table cell: the estimate, or what happened to the point instead."""
+    result = row.get(name)
+    if result is None:
+        return f"{'skipped':>14}"
+    if not result.ok:
+        return f"{'failed':>14}"
+    return f"{result.total_seconds:>14.2f}"
 
 
 def _command_dashboard(args: argparse.Namespace) -> int:
@@ -257,10 +323,12 @@ def _command_dashboard(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         base_seed=args.seed,
         evaluate=not args.no_evaluate,
+        on_error=args.on_error,
     )
     report = run.report
     if run.outcome is not None:
         print(run.outcome.plan.describe(), file=sys.stderr)
+        _print_resilience_summary(service)
     print(render_markdown(report))
     for line in render_jsonl(report).splitlines():
         print(f"{ARTIFACT_PREFIX} {line}")

@@ -54,3 +54,28 @@ class BackendError(ReproError):
 
 class StoreError(ReproError):
     """Raised when a persistent result store cannot be opened or written."""
+
+
+class TransientError(ReproError):
+    """A failure expected to go away on retry (worker hiccup, flaky I/O).
+
+    Backends and fault harnesses raise this to mark an error as retryable;
+    the service's :class:`~repro.api.resilience.RetryPolicy` classifies it
+    (and its subclasses) as retryable by default.
+    """
+
+
+class EvaluationTimeoutError(TransientError):
+    """An evaluation exceeded its configured deadline.
+
+    A subclass of :class:`TransientError` because a timeout is usually load,
+    not logic: the default retry policy re-attempts it.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """A call was rejected because the backend's circuit breaker is open.
+
+    Deliberately *not* transient: retrying into an open breaker would defeat
+    its purpose.  The breaker itself readmits probes after its cooldown.
+    """

@@ -231,19 +231,22 @@ def run_suite_grid(
     service: PredictionService | None = None,
     store: ResultStore | str | None = None,
     execution: str | None = None,
+    on_error: str | None = None,
 ) -> SweepOutcome:
     """Schedule one ``suite × backends`` grid through the sweep scheduler.
 
     This is the single grid-execution path shared by the figure series and
     the accuracy dashboard: with a store-backed service, completed points
     replay from disk and only the missing remainder is evaluated (the plan
-    is logged at debug level).
+    is logged at debug level).  ``on_error`` forwards the sweep's
+    partial-results contract (``"raise"`` / ``"skip"`` / ``"record"``;
+    ``None`` keeps the service's configured mode).
     """
     if service is None:
         service = PredictionService(
             backends=list(backends), store=store, execution=execution or "thread"
         )
-    outcome = SweepScheduler(service).run(suite, backends)
+    outcome = SweepScheduler(service).run(suite, backends, on_error=on_error)
     logger.debug("%s", outcome.plan.describe())
     return outcome
 

@@ -1,0 +1,24 @@
+"""Test support shipped with the library (deterministic fault injection).
+
+Kept inside ``src`` (not ``tests/``) so the chaos tests, the benchmarks,
+and downstream users hardening their own deployments all drive the same
+harness.  See :mod:`repro.testing.faults`.
+"""
+
+from .faults import (
+    KILL_EXIT_CODE,
+    FaultInjector,
+    FaultSpec,
+    FaultyStore,
+    KillSwitch,
+    inject_backend_faults,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "FaultyStore",
+    "KILL_EXIT_CODE",
+    "KillSwitch",
+    "inject_backend_faults",
+]

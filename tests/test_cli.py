@@ -184,6 +184,124 @@ class TestSweep:
         assert excinfo.value.code == 2
 
 
+class TestResilienceFlags:
+    @pytest.fixture
+    def flaky_backend(self):
+        from repro.api.backends import _REGISTRY
+        from repro.api.results import PredictionResult
+        from repro.exceptions import TransientError
+
+        class FlakyBackend:
+            failures_per_point = 1
+            calls: dict[str, int] = {}
+
+            def predict(self, scenario):
+                key = scenario.cache_key()
+                seen = type(self).calls.get(key, 0)
+                type(self).calls[key] = seen + 1
+                if seen < type(self).failures_per_point:
+                    raise TransientError("flaky")
+                return PredictionResult(
+                    backend=type(self).name,
+                    scenario=scenario,
+                    total_seconds=float(scenario.num_nodes),
+                    phases={"map": 1.0},
+                )
+
+        FlakyBackend.name = "cli-flaky-stub"
+        _REGISTRY["cli-flaky-stub"] = FlakyBackend
+        try:
+            yield FlakyBackend
+        finally:
+            _REGISTRY.pop("cli-flaky-stub", None)
+
+    def _suite_path(self, tmp_path):
+        suite = ScenarioSuite.from_sweep(
+            "cli-resilience",
+            Scenario(input_size_bytes=megabytes(256), num_reduces=2, repetitions=1),
+            num_nodes=[2, 3],
+        )
+        path = tmp_path / "suite.json"
+        path.write_text(suite.to_json())
+        return str(path)
+
+    def test_retries_recover_a_flaky_sweep(self, flaky_backend, tmp_path, capsys):
+        args = [
+            "sweep", "--suite", self._suite_path(tmp_path),
+            "--backend", flaky_backend.name, "--retries", "2",
+        ]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "failed" not in captured.out
+        assert "resilience: 2 retries, 0 failed points" in captured.err
+
+    def test_without_retries_the_sweep_aborts(self, flaky_backend, tmp_path, capsys):
+        args = [
+            "sweep", "--suite", self._suite_path(tmp_path),
+            "--backend", flaky_backend.name,
+        ]
+        assert main(args) == 2
+        assert "error: flaky" in capsys.readouterr().err
+
+    def test_on_error_record_renders_failed_cells(
+        self, flaky_backend, tmp_path, capsys
+    ):
+        flaky_backend.failures_per_point = 99  # permanently down
+        args = [
+            "sweep", "--suite", self._suite_path(tmp_path),
+            "--backend", flaky_backend.name, "--backend", "aria",
+            "--on-error", "record",
+        ]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("failed") == 2  # one cell per scenario
+        assert "2 failed points" in captured.err
+
+    def test_on_error_skip_renders_skipped_cells(
+        self, flaky_backend, tmp_path, capsys
+    ):
+        flaky_backend.failures_per_point = 99
+        args = [
+            "sweep", "--suite", self._suite_path(tmp_path),
+            "--backend", flaky_backend.name, "--on-error", "skip",
+        ]
+        assert main(args) == 0
+        assert capsys.readouterr().out.count("skipped") == 2
+
+    def test_timeout_flag_reports_failed_points(self, tmp_path, capsys):
+        from repro.api.backends import _REGISTRY
+        from repro.api.results import PredictionResult
+
+        class SlowBackend:
+            def predict(self, scenario):
+                import time
+
+                time.sleep(0.05)
+                return PredictionResult(
+                    backend=type(self).name, scenario=scenario, total_seconds=1.0
+                )
+
+        SlowBackend.name = "cli-slow-stub"
+        _REGISTRY["cli-slow-stub"] = SlowBackend
+        try:
+            args = [
+                "sweep", "--suite", self._suite_path(tmp_path),
+                "--backend", "cli-slow-stub",
+                "--timeout", "0.01", "--on-error", "record",
+            ]
+            assert main(args) == 0
+            captured = capsys.readouterr()
+            assert captured.out.count("failed") == 2
+            assert "2 timeouts" in captured.err
+        finally:
+            _REGISTRY.pop("cli-slow-stub", None)
+
+    def test_invalid_on_error_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", "--on-error", "explode"])
+        assert excinfo.value.code == 2
+
+
 class TestSimulate:
     def test_simulate_prints_traces_and_summary(self, capsys):
         # simulate is a single seeded run: it takes no --repetitions flag.

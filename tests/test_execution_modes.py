@@ -94,6 +94,27 @@ class TestProcessFallback:
         assert result.series("simulator") == reference.series("simulator")
         assert service.stats().evaluations == 2
 
+    def test_pool_fallback_is_observable(self, monkeypatch, capsys):
+        """The silent degradation is gone: counted in stats, warned on stderr."""
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no subprocesses in this sandbox")
+
+        monkeypatch.setattr(service_module, "ProcessPoolExecutor", broken_pool)
+        service = PredictionService(backends=["simulator"], execution="process")
+        service.evaluate_suite(SUITE, ["simulator"])
+        assert service.stats().pool_fallbacks == 1
+        err = capsys.readouterr().err
+        assert err.count("degrading to thread execution") == 1
+        # Later sweeps on the same service degrade again (counted) but do not
+        # repeat the stderr warning.
+        service.evaluate_suite(
+            ScenarioSuite.from_sweep("exec2", SMALL, num_nodes=[4, 5]),
+            ["simulator"],
+        )
+        assert service.stats().pool_fallbacks == 2
+        assert "degrading" not in capsys.readouterr().err
+
     def test_broken_submission_falls_back_in_process(self, monkeypatch):
         class BrokenPool:
             def __init__(self, *args, **kwargs):

@@ -15,6 +15,7 @@ import threading
 import pytest
 
 from repro.api import (
+    QUARANTINE_DIR,
     PredictionService,
     ResultStore,
     Scenario,
@@ -231,6 +232,81 @@ class TestServiceWithStore:
         first = service.evaluate(SMALL, "aria")
         assert service.evaluate(SMALL, "aria") is first  # memory cache still works
         assert ResultStore(tmp_path / "store").refresh().loaded == 0
+
+
+class TestQuarantine:
+    """Corrupt records are moved aside, not deleted — and the slot heals."""
+
+    def _quarantine_files(self, store_path) -> list:
+        return sorted((store_path / QUARANTINE_DIR).glob("*"))
+
+    def test_corrupt_records_round_trip_through_quarantine(self, tmp_path):
+        store_path = tmp_path / "store"
+        service = PredictionService(backends=["aria"], store=store_path)
+        scenarios = [SMALL.with_updates(num_nodes=nodes) for nodes in (2, 3, 4)]
+        originals = [service.evaluate(scenario, "aria") for scenario in scenarios]
+        files = _record_files(service.store)
+        garbage = "{garbled json!!"
+        files[0].write_text(garbage)
+        truncated = files[1].read_text()[:40]
+        files[1].write_text(truncated)
+
+        scan = ResultStore(store_path).refresh()
+        assert scan.corrupt == 2
+        assert scan.quarantined == 2
+        # The torn bytes are preserved for post-mortems, under a name that
+        # says which file broke and why.
+        quarantined = self._quarantine_files(store_path)
+        assert len(quarantined) == 2
+        assert {path.read_text() for path in quarantined} == {garbage, truncated}
+        by_original = {path.name.split("--", 1)[1]: path for path in quarantined}
+        assert set(by_original) == {files[0].name, files[1].name}
+        reasons = {path.name.split("--", 1)[0] for path in quarantined}
+        assert reasons <= {"unreadable", "malformed", "undecodable"}
+        # ...and the record slots themselves are free again.
+        assert len(_record_files(ResultStore(store_path))) == 1
+
+        # Re-evaluating heals the slots; the quarantine keeps its evidence.
+        healed = PredictionService(backends=["aria"], store=store_path)
+        for scenario, original in zip(scenarios, originals):
+            assert healed.evaluate(scenario, "aria") == original
+        assert ResultStore(store_path).refresh().corrupt == 0
+        assert len(_record_files(ResultStore(store_path))) == 3
+        assert len(self._quarantine_files(store_path)) == 2
+
+    def test_stale_records_are_not_quarantined(self, tmp_path):
+        store_path = tmp_path / "store"
+        service = PredictionService(backends=["aria"], store=store_path)
+        service.evaluate(SMALL, "aria")
+        files = _record_files(service.store)
+        record = json.loads(files[0].read_text())
+        record["backend_version"] = 999
+        files[0].write_text(json.dumps(record))
+        scan = ResultStore(store_path).refresh()
+        # Stale is a versioning outcome, not corruption: the (well-formed)
+        # record stays in place for inspection or rollback.
+        assert scan.stale == 1
+        assert scan.quarantined == 0
+        assert files[0].exists()
+        assert not (store_path / QUARANTINE_DIR).exists()
+
+    def test_quarantine_failure_still_skips_the_record(self, tmp_path, monkeypatch):
+        store_path = tmp_path / "store"
+        service = PredictionService(backends=["aria"], store=store_path)
+        service.evaluate(SMALL, "aria")
+        _record_files(service.store)[0].write_text("{broken")
+        import repro.api.store as store_module
+
+        def failing_replace(src, dst):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr(store_module.os, "replace", failing_replace)
+        scan = ResultStore(store_path).refresh()
+        # Never-fatal contract: the record is skipped and counted even when
+        # the quarantine move itself fails.
+        assert scan.corrupt == 1
+        assert scan.quarantined == 0
+        assert scan.loaded == 0
 
 
 class TestVersioning:

@@ -174,6 +174,70 @@ class TestSweepRun:
         assert outcome.stats.batch_points == 4
 
 
+class TestFlushOnFailure:
+    """A sweep that dies mid-run must not lose its completed points."""
+
+    @pytest.fixture
+    def partial_backend(self):
+        class PartialBackend:
+            calls: list[str] = []
+            cursed_nodes = 5
+
+            def predict(self, scenario):
+                type(self).calls.append(scenario.cache_key())
+                if scenario.num_nodes == type(self).cursed_nodes:
+                    raise ValueError("induced mid-sweep failure")
+                return PredictionResult(
+                    backend=type(self).name,
+                    scenario=scenario,
+                    total_seconds=float(scenario.num_nodes),
+                    phases={"map": 1.0},
+                )
+
+        PartialBackend.name = "sweep-partial-stub"
+        _REGISTRY["sweep-partial-stub"] = PartialBackend
+        try:
+            yield PartialBackend
+        finally:
+            _REGISTRY.pop("sweep-partial-stub", None)
+
+    def test_completed_points_are_flushed_before_the_error_propagates(
+        self, partial_backend, tmp_path
+    ):
+        name = partial_backend.name
+        store_path = tmp_path / "store"
+        service = PredictionService(backends=[name], store=store_path)
+        with pytest.raises(ValueError):
+            SweepScheduler(service).run(SUITE, [name])
+        # The three healthy points landed on disk before the raise.
+        assert ResultStore(store_path).refresh().loaded == 3
+        assert service.stats().evaluations == 3
+        assert service.stats().failures == 1
+
+    def test_resumed_sweep_reevaluates_only_the_failed_point(
+        self, partial_backend, tmp_path
+    ):
+        name = partial_backend.name
+        store_path = tmp_path / "store"
+        with pytest.raises(ValueError):
+            SweepScheduler(
+                PredictionService(backends=[name], store=store_path)
+            ).run(SUITE, [name])
+        partial_backend.cursed_nodes = -1  # the transient cause is gone
+        partial_backend.calls.clear()
+        resumed = SweepScheduler(
+            PredictionService(backends=[name], store=store_path)
+        )
+        outcome = resumed.run(SUITE, [name])
+        assert len(outcome.plan.store_hits) == 3
+        assert len(outcome.plan.missing) == 1
+        assert outcome.evaluated_points == 1
+        # Only the previously failed scenario hit the backend again.
+        cursed = [s for s in SUITE.scenarios if s.num_nodes == 5]
+        assert partial_backend.calls == [cursed[0].cache_key()]
+        assert outcome.result.series(name) == [2.0, 3.0, 4.0, 5.0]
+
+
 class TestGetMany:
     def _seed(self, tmp_path, scenarios, backend="aria"):
         store = ResultStore(tmp_path / "store")
