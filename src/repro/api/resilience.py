@@ -25,6 +25,7 @@ injectable clock so tests can drive the cooldown without sleeping.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import threading
 import time
@@ -178,6 +179,32 @@ class BreakerSnapshot:
     window_failures: int
     #: Calls rejected while the breaker was open or saturated half-open.
     rejections: int
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view (the ``/stats`` endpoint's breaker rows)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: "dict | None") -> "BreakerSnapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ValidationError(
+                f"breaker snapshot must be a mapping, got {type(data).__name__}"
+            )
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown breaker-snapshot fields {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        try:
+            snapshot = cls(**data)
+        except TypeError as exc:
+            raise ValidationError(f"invalid breaker snapshot: {exc}") from exc
+        if snapshot.state not in (BREAKER_CLOSED, BREAKER_OPEN, BREAKER_HALF_OPEN):
+            raise ValidationError(f"unknown breaker state {snapshot.state!r}")
+        return snapshot
 
 
 class CircuitBreaker:

@@ -93,6 +93,25 @@ def _predict_in_subprocess(scenario_data: dict, backend: str, options: dict) -> 
     return create_backend(backend, **options).predict(scenario).to_dict()
 
 
+class _InflightEvaluation:
+    """One in-flight (cache key, backend) evaluation that callers can join.
+
+    The first thread through :meth:`PredictionService._evaluate_resilient`
+    for a point owns the evaluation; concurrent callers of the same point
+    block on :attr:`event` and share the owner's outcome instead of
+    evaluating again.  Joins are counted as ``coalesced`` in
+    :meth:`PredictionService.stats` — the serving layer's request-coalescing
+    guarantee is exactly this registry, surfaced end-to-end.
+    """
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: PredictionResult | None = None
+        self.error: BaseException | None = None
+
+
 class _ProcessPoolState:
     """One sweep's process pool plus its crash-recovery budget.
 
@@ -120,6 +139,11 @@ class ServiceStats:
     store_hits: int = 0
     #: Actual backend evaluations (cache and store both missed).
     evaluations: int = 0
+    #: Requests that joined an identical in-flight evaluation instead of
+    #: evaluating again: concurrent ``evaluate`` calls for one point share
+    #: the first caller's outcome, and duplicate grid cells of one suite
+    #: collapse onto a single evaluation.
+    coalesced: int = 0
     #: ``predict_batch`` dispatches performed by suite evaluation.
     batch_calls: int = 0
     #: Scenarios evaluated through those batch dispatches (each also counts
@@ -149,6 +173,28 @@ class ServiceStats:
                 for spec in fields(ServiceStats)
             }
         )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view (one key per counter); inverse of :meth:`from_dict`."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(ServiceStats)}
+
+    @classmethod
+    def from_dict(cls, data: "dict | None") -> "ServiceStats":
+        """Rebuild a snapshot from :meth:`to_dict` output (e.g. a ``/stats`` body)."""
+        if not isinstance(data, dict):
+            raise ValidationError(
+                f"service stats must be a mapping, got {type(data).__name__}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown service-stats fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        try:
+            return cls(**{name: int(value) for name, value in data.items()})
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"invalid service stats: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -264,6 +310,10 @@ class PredictionService:
         self._memory_hits = 0
         self._store_hits = 0
         self._evaluations = 0
+        self._coalesced = 0
+        #: In-flight evaluations by (cache key, backend); concurrent callers
+        #: of a point already being evaluated join the owner's outcome.
+        self._inflight: dict[tuple[str, str], _InflightEvaluation] = {}
         self._batch_calls = 0
         self._batch_points = 0
         self._retries = 0
@@ -309,6 +359,7 @@ class PredictionService:
                 memory_hits=self._memory_hits,
                 store_hits=self._store_hits,
                 evaluations=self._evaluations,
+                coalesced=self._coalesced,
                 batch_calls=self._batch_calls,
                 batch_points=self._batch_points,
                 retries=self._retries,
@@ -397,13 +448,61 @@ class PredictionService:
                 self._breakers[backend] = breaker
             return breaker
 
-    def evaluate(self, scenario: Scenario, backend: str) -> PredictionResult:
+    def _resolve_retry(self, retry: "RetryPolicy | int | None") -> RetryPolicy:
+        """Per-call retry override; ``None`` keeps the service's policy."""
+        if retry is None:
+            return self._retry
+        return RetryPolicy.resolve(retry)
+
+    def _resolve_timeout(self, timeout: float | None) -> float | None:
+        """Per-call deadline override; ``None`` keeps the service's deadline."""
+        if timeout is None:
+            return self._timeout
+        if timeout <= 0:
+            raise ValidationError(f"timeout must be positive, got {timeout}")
+        return timeout
+
+    def evaluate(
+        self,
+        scenario: Scenario,
+        backend: str,
+        *,
+        retry: "RetryPolicy | int | None" = None,
+        timeout: float | None = None,
+    ) -> PredictionResult:
         """Evaluate one scenario with one backend (cached, store-backed).
 
         Runs under the service's retry policy, deadline, and circuit breaker
-        (all no-ops unless configured); terminal failures raise.
+        (all no-ops unless configured); terminal failures raise.  ``retry``
+        and ``timeout`` override the service-level policies for this call
+        only — the serving layer maps per-request resilience selections onto
+        these knobs.
         """
-        return self._evaluate_resilient(scenario, backend, None)
+        return self._evaluate_resilient(
+            scenario, backend, None, retry=retry, timeout=timeout
+        )
+
+    def evaluate_point(
+        self,
+        scenario: Scenario,
+        backend: str,
+        *,
+        on_error: str | None = None,
+        retry: "RetryPolicy | int | None" = None,
+        timeout: float | None = None,
+    ) -> PredictionResult | FailedResult | None:
+        """One point under the ``on_error`` contract, with per-call policies.
+
+        Like :meth:`evaluate`, but a terminal failure follows the suite
+        contract instead of always raising: ``"skip"`` returns ``None`` and
+        ``"record"`` returns a structured
+        :class:`~repro.api.results.FailedResult`.  This is the unit of work
+        the streaming sweep path and the serving layer dispatch.
+        """
+        mode = self._resolve_on_error(on_error)
+        return self._evaluate_guarded(
+            scenario, backend, None, mode, retry=retry, timeout=timeout
+        )
 
     def _evaluate_resilient(
         self,
@@ -411,17 +510,65 @@ class PredictionService:
         backend: str,
         holder: "_ProcessPoolState | None",
         info: dict | None = None,
+        retry: "RetryPolicy | int | None" = None,
+        timeout: float | None = None,
     ) -> PredictionResult:
-        """Lookup, then attempt under the retry policy and circuit breaker.
+        """Lookup, join an identical in-flight evaluation, or attempt.
 
-        ``info`` (when given) receives the attempt count, so the caller can
-        attribute a terminal failure without re-deriving it.
+        Concurrent calls for one (cache key, backend) point coalesce: the
+        first caller evaluates under the retry policy and circuit breaker,
+        later callers block until that outcome is published and share it
+        (success *and* failure — a joiner re-raises the owner's terminal
+        error rather than hammering a failing backend again).  ``info``
+        (when given) receives the attempt count, so the caller can attribute
+        a terminal failure without re-deriving it.
         """
         key = (scenario.cache_key(), backend)
         cached = self._lookup(key)
         if cached is not None:
             return cached
-        policy = self._retry
+        owner = False
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is None:
+                entry = _InflightEvaluation()
+                self._inflight[key] = entry
+                owner = True
+            else:
+                self._coalesced += 1
+        if not owner:
+            entry.event.wait()
+            if info is not None:
+                info["attempts"] = 0  # the joiner itself attempted nothing
+            if entry.error is not None:
+                raise entry.error
+            return entry.result
+        try:
+            result = self._run_attempts(scenario, backend, holder, info, retry, timeout)
+        except BaseException as exc:
+            entry.error = exc
+            raise
+        else:
+            entry.result = result
+            return result
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            entry.event.set()
+
+    def _run_attempts(
+        self,
+        scenario: Scenario,
+        backend: str,
+        holder: "_ProcessPoolState | None",
+        info: dict | None,
+        retry: "RetryPolicy | int | None",
+        timeout: float | None,
+    ) -> PredictionResult:
+        """The retry/breaker attempt loop for one owned evaluation."""
+        key = (scenario.cache_key(), backend)
+        policy = self._resolve_retry(retry)
+        deadline = self._resolve_timeout(timeout)
         breaker = self._breaker_for(backend)
         attempt = 0
         while True:
@@ -431,7 +578,7 @@ class PredictionService:
             try:
                 if breaker is not None:
                     breaker.allow()
-                result = self._attempt(scenario, backend, holder)
+                result = self._attempt(scenario, backend, holder, deadline)
             except Exception as exc:
                 if breaker is not None and not isinstance(exc, CircuitOpenError):
                     breaker.record_failure()
@@ -459,7 +606,11 @@ class PredictionService:
             return result
 
     def _attempt(
-        self, scenario: Scenario, backend: str, holder: "_ProcessPoolState | None"
+        self,
+        scenario: Scenario,
+        backend: str,
+        holder: "_ProcessPoolState | None",
+        deadline: float | None,
     ) -> PredictionResult:
         """One evaluation attempt, routed per the execution resources at hand."""
         if (
@@ -467,10 +618,12 @@ class PredictionService:
             and holder.pool is not None
             and backend_is_cpu_bound(backend)
         ):
-            return self._attempt_in_pool(scenario, backend, holder)
-        return self._attempt_in_process(scenario, backend)
+            return self._attempt_in_pool(scenario, backend, holder, deadline)
+        return self._attempt_in_process(scenario, backend, deadline)
 
-    def _attempt_in_process(self, scenario: Scenario, backend: str) -> PredictionResult:
+    def _attempt_in_process(
+        self, scenario: Scenario, backend: str, deadline: float | None
+    ) -> PredictionResult:
         """In-process attempt with a cooperative (post-hoc) deadline check.
 
         Threads cannot be preempted, so serial/thread-mode deadlines are
@@ -480,19 +633,23 @@ class PredictionService:
         """
         started = time.monotonic()
         result = self._backend(backend).predict(scenario)
-        if self._timeout is not None:
+        if deadline is not None:
             elapsed = time.monotonic() - started
-            if elapsed > self._timeout:
+            if elapsed > deadline:
                 with self._lock:
                     self._timeouts += 1
                 raise EvaluationTimeoutError(
                     f"evaluation of backend {backend!r} took {elapsed:.3f}s, "
-                    f"over the {self._timeout}s deadline"
+                    f"over the {deadline}s deadline"
                 )
         return result
 
     def _attempt_in_pool(
-        self, scenario: Scenario, backend: str, holder: "_ProcessPoolState"
+        self,
+        scenario: Scenario,
+        backend: str,
+        holder: "_ProcessPoolState",
+        deadline: float | None,
     ) -> PredictionResult:
         """One attempt in the process pool, riding the degradation ladder.
 
@@ -504,7 +661,7 @@ class PredictionService:
         while True:
             pool = holder.pool
             if pool is None:
-                return self._attempt_in_process(scenario, backend)
+                return self._attempt_in_process(scenario, backend, deadline)
             try:
                 future = pool.submit(
                     _predict_in_subprocess,
@@ -516,19 +673,19 @@ class PredictionService:
                 self._handle_pool_failure(holder, pool, exc)
                 continue
             try:
-                if self._timeout is None:
+                if deadline is None:
                     payload = future.result()
                 else:
-                    payload = future.result(timeout=self._timeout)
+                    payload = future.result(timeout=deadline)
             except TimeoutError as exc:
-                if self._timeout is None:
+                if deadline is None:
                     raise  # a worker-raised timeout, not our deadline
                 future.cancel()
                 with self._lock:
                     self._timeouts += 1
                 raise EvaluationTimeoutError(
                     f"evaluation of backend {backend!r} exceeded the "
-                    f"{self._timeout}s deadline"
+                    f"{deadline}s deadline"
                 ) from exc
             except (BrokenProcessPool, OSError) as exc:
                 # A dead worker breaks the whole pool; every in-flight future
@@ -547,7 +704,7 @@ class PredictionService:
                     backend,
                     exc,
                 )
-                return self._attempt_in_process(scenario, backend)
+                return self._attempt_in_process(scenario, backend, deadline)
             return PredictionResult.from_dict(payload)
 
     def _handle_pool_failure(
@@ -596,11 +753,15 @@ class PredictionService:
         backend: str,
         holder: "_ProcessPoolState | None",
         on_error: str,
+        retry: "RetryPolicy | int | None" = None,
+        timeout: float | None = None,
     ) -> PredictionResult | FailedResult | None:
         """One point under the ``on_error`` contract; ``None`` means skipped."""
         info: dict = {"attempts": 0}
         try:
-            return self._evaluate_resilient(scenario, backend, holder, info)
+            return self._evaluate_resilient(
+                scenario, backend, holder, info, retry=retry, timeout=timeout
+            )
         except Exception as exc:
             if on_error == "raise":
                 raise
@@ -647,7 +808,8 @@ class PredictionService:
     ) -> SuiteResult:
         """Evaluate every (scenario, backend) pair of a suite.
 
-        Duplicate sweep points share one evaluation.  The unique points are
+        Duplicate sweep points share one evaluation (each extra cell counts
+        as one ``coalesced`` join in :meth:`stats`).  The unique points are
         partitioned into memory hits, store hits (bulk-probed through
         :meth:`ResultStore.get_many`), and misses; misses of batch-capable
         backends are grouped per backend and dispatched in one
@@ -666,9 +828,20 @@ class PredictionService:
         names = tuple(backends) if backends is not None else tuple(self.backends())
         keys = [scenario.cache_key() for scenario in suite.scenarios]
         unique: dict[tuple[str, str], Scenario] = {}
+        duplicates = 0
         for index, scenario in enumerate(suite.scenarios):
             for name in names:
-                unique.setdefault((keys[index], name), scenario)
+                point = (keys[index], name)
+                if point in unique:
+                    duplicates += 1
+                else:
+                    unique[point] = scenario
+        if duplicates:
+            # Duplicate grid cells share one evaluation — the suite-level
+            # face of the same coalescing the in-flight registry provides
+            # across concurrent calls, and counted under the same counter.
+            with self._lock:
+                self._coalesced += duplicates
         results = self._evaluate_points(unique, mode)
         rows = tuple(
             {

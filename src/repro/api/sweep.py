@@ -22,9 +22,13 @@ only the remainder: every completed point was persisted when it finished.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import os
+from collections.abc import Iterator, Sequence
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 
+from .resilience import RetryPolicy
+from .results import FailedResult, PredictionResult
 from .scenario import ScenarioSuite
 from .service import PredictionService, ServiceStats, SuiteResult
 
@@ -149,6 +153,7 @@ class SweepScheduler:
         suite: ScenarioSuite,
         backends: Sequence[str] | None = None,
         on_error: str | None = None,
+        plan: SweepPlan | None = None,
     ) -> SweepOutcome:
         """Plan, then evaluate — completed points replay, the rest execute.
 
@@ -160,9 +165,80 @@ class SweepScheduler:
         loses only the failing points.  ``on_error="skip"`` / ``"record"``
         instead finish the sweep with partial rows (see
         :meth:`~repro.api.service.PredictionService.evaluate_suite`).
+
+        ``plan`` short-circuits the probe: a caller that already computed
+        (and, say, printed) the plan passes it in, so what was announced is
+        exactly what executes — no second store probe between the two.
         """
-        plan = self.plan(suite, backends)
+        if plan is None:
+            plan = self.plan(suite, backends)
         before = self._service.stats()
         result = self._service.evaluate_suite(suite, plan.backends, on_error=on_error)
         after = self._service.stats()
         return SweepOutcome(plan=plan, result=result, stats=after.delta(before))
+
+    def iter_results(
+        self,
+        suite: ScenarioSuite,
+        backends: Sequence[str] | None = None,
+        *,
+        on_error: str | None = None,
+        plan: SweepPlan | None = None,
+        max_workers: int | None = None,
+        retry: "RetryPolicy | int | None" = None,
+        timeout: float | None = None,
+    ) -> Iterator[tuple[int, str, "PredictionResult | FailedResult | None"]]:
+        """Stream the sweep: yield each point the moment its answer exists.
+
+        Yields ``(scenario index, backend, result)`` tuples — first every
+        already-answered point (memory/store hits replay instantly), then
+        the missing points in *completion* order, evaluated concurrently on
+        a private thread pool.  This is the serving layer's sweep path: an
+        HTTP client sees points arrive incrementally instead of waiting for
+        the whole grid.
+
+        Points that fail terminally follow ``on_error`` exactly as
+        :meth:`~repro.api.service.PredictionService.evaluate_point` does
+        (``"skip"`` yields ``None``, ``"record"`` yields a
+        :class:`~repro.api.results.FailedResult`, ``"raise"`` propagates).
+        ``retry`` / ``timeout`` are per-call policy overrides.  Closing the
+        generator early (a disconnected client) cancels the not-yet-started
+        points and waits for in-flight ones — each of those still records to
+        cache and store, so an abandoned sweep leaves the store consistent
+        and a re-run resumes from what completed.
+        """
+        if plan is None:
+            plan = self.plan(suite, backends)
+        for index, name in (*plan.memory_hits, *plan.store_hits):
+            yield (
+                index,
+                name,
+                self._service.evaluate(
+                    suite.scenarios[index], name, retry=retry, timeout=timeout
+                ),
+            )
+        missing = list(plan.missing)
+        if not missing:
+            return
+        workers = max_workers or min(len(missing), os.cpu_count() or 2)
+        executor = ThreadPoolExecutor(max_workers=max(1, workers))
+        try:
+            futures = {
+                executor.submit(
+                    self._service.evaluate_point,
+                    suite.scenarios[index],
+                    name,
+                    on_error=on_error,
+                    retry=retry,
+                    timeout=timeout,
+                ): (index, name)
+                for index, name in missing
+            }
+            for future in as_completed(futures):
+                index, name = futures[future]
+                yield index, name, future.result()
+        finally:
+            # On normal exhaustion this is a no-op; on early close or a
+            # raising point it cancels the queued remainder and waits for
+            # in-flight evaluations (which persist their results) to finish.
+            executor.shutdown(wait=True, cancel_futures=True)

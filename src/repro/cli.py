@@ -14,6 +14,9 @@ main entry points of the library through the unified prediction API:
   the per-backend error bands against the simulator (markdown table +
   ``ACCURACY_DASHBOARD`` JSONL lines), and optionally gate the run against a
   committed ``accuracy-baseline.json`` (nonzero exit on band drift);
+* ``serve``    — run the long-lived prediction daemon (HTTP/JSON endpoints
+  with bounded admission, request coalescing, per-request resilience
+  policies, streaming NDJSON sweeps, graceful SIGTERM drain);
 * ``simulate`` — run the YARN simulator and print per-job traces.
 
 ``predict`` / ``compare`` / ``sweep`` / ``figure`` accept ``--store PATH``
@@ -285,8 +288,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
     backends = args.backend or list(DEFAULT_SWEEP_BACKENDS)
     service = _service_from_args(args, backends, max_workers=args.max_workers)
     scheduler = SweepScheduler(service)
-    outcome = scheduler.run(suite, backends)
-    print(outcome.plan.describe(), file=sys.stderr)
+    # Plan first and announce it *before* evaluating, then execute exactly
+    # that plan: the stderr line reflects the final memory/store/miss
+    # partition (probes included), and appears up front on long sweeps.
+    plan = scheduler.plan(suite, backends)
+    print(plan.describe(), file=sys.stderr, flush=True)
+    outcome = scheduler.run(suite, backends, plan=plan)
     suite_result = outcome.result
     if args.json:
         print(json.dumps(suite_result.to_dict(), indent=2))
@@ -311,6 +318,40 @@ def _sweep_cell(row: dict, name: str) -> str:
     if not result.ok:
         return f"{'failed':>14}"
     return f"{result.total_seconds:>14.2f}"
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import PredictionDaemon, ServeConfig
+
+    backends = args.backend or backend_names()
+    service = _service_from_args(args, backends)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        max_retries=args.max_retries,
+        max_timeout=args.max_timeout,
+    )
+    daemon = PredictionDaemon(service, config)
+
+    def announce() -> None:
+        print(
+            f"serving on http://{daemon.host}:{daemon.port}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    asyncio.run(daemon.run(ready=announce))
+    stats = service.stats()
+    print(
+        f"drained: {stats.evaluations} evaluations, {stats.coalesced} coalesced, "
+        f"{stats.memory_hits} cache hits, {stats.store_hits} store hits",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _command_dashboard(args: argparse.Namespace) -> int:
@@ -525,6 +566,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_service_arguments(dashboard_parser)
     dashboard_parser.set_defaults(handler=_command_dashboard)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the prediction daemon (HTTP/JSON, admission control, "
+        "request coalescing, streaming sweeps)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8571, help="bind port (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--backend",
+        action="append",
+        choices=backend_names(),
+        help="backend to serve (repeatable; default: all registered)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="requests evaluated concurrently",
+    )
+    serve_parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="requests allowed to wait for a slot before 429s (0 = no queue)",
+    )
+    serve_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=5,
+        help="ceiling on per-request policy.retries",
+    )
+    serve_parser.add_argument(
+        "--max-timeout",
+        type=float,
+        default=120.0,
+        help="ceiling on per-request policy.timeout seconds",
+    )
+    _add_service_arguments(serve_parser)
+    serve_parser.set_defaults(handler=_command_serve)
 
     # simulate is one seeded raw run (per-job traces), so --repetitions —
     # which only affects the simulator *backend*'s median-of-N — is omitted.

@@ -1,0 +1,33 @@
+"""Prediction-as-a-service: the long-lived HTTP daemon over the API layer.
+
+Everything one-shot about the CLI becomes resident here: one
+:class:`~repro.api.service.PredictionService` (cache + store + breakers +
+in-flight coalescing) behind an asyncio HTTP/JSON front end with bounded
+admission, per-request resilience policies, streaming sweeps, and a graceful
+SIGTERM drain.  See :mod:`repro.serve.daemon` for the serving semantics and
+:mod:`repro.serve.loadgen` for the multi-client load generator the
+``BENCH_SERVE`` benchmark drives.
+"""
+
+from .daemon import (
+    POLICY_FIELDS,
+    PredictionDaemon,
+    ServeConfig,
+    daemon_in_thread,
+    resolve_policy,
+)
+from .http import HttpError, Request
+from .loadgen import LoadReport, percentile, run_predict_load
+
+__all__ = [
+    "POLICY_FIELDS",
+    "HttpError",
+    "LoadReport",
+    "PredictionDaemon",
+    "Request",
+    "ServeConfig",
+    "daemon_in_thread",
+    "percentile",
+    "resolve_policy",
+    "run_predict_load",
+]

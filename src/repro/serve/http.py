@@ -1,0 +1,206 @@
+"""Minimal HTTP/1.1 layer for the prediction daemon (stdlib only).
+
+The daemon's transport needs are deliberately small — parse one request per
+connection, answer with a fixed-length JSON body or a chunked NDJSON stream —
+so rather than pulling in a web framework this module implements exactly
+that slice of HTTP/1.1 over :mod:`asyncio` streams:
+
+* :func:`read_request` parses a request head + ``Content-Length`` body from a
+  stream reader with hard limits on line length, header count and body size
+  (an oversized body is answered ``413``, not buffered);
+* :func:`encode_response` / :func:`encode_chunk` build wire bytes for
+  fixed-length and ``Transfer-Encoding: chunked`` responses;
+* :class:`HttpError` carries a status + message (and optional extra headers,
+  e.g. ``Retry-After``) from anywhere in request handling back to the one
+  place that writes the error response.
+
+Every response is ``Connection: close``: one request per connection keeps
+the daemon's admission accounting trivially correct (a connection maps to at
+most one unit of admitted work) at a throughput cost that is irrelevant next
+to a model evaluation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+#: Reason phrases for the status codes the daemon actually emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Hard parser limits; requests beyond them are rejected, never buffered.
+MAX_LINE_BYTES = 8192
+MAX_HEADERS = 100
+DEFAULT_MAX_BODY_BYTES = 1 << 20
+
+
+class HttpError(Exception):
+    """A request that must be answered with an HTTP error status."""
+
+    def __init__(
+        self, status: int, message: str, headers: dict[str, str] | None = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    #: Path component of the request target (query string stripped).
+    path: str
+    query: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """Decode the body as a JSON object, or raise a 400 :class:`HttpError`."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise HttpError(
+                400, f"request body must be a JSON object, got {type(payload).__name__}"
+            )
+        return payload
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""
+        raise HttpError(400, "truncated request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(400, "request line too long") from exc
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpError(400, "request line too long")
+    return line
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = DEFAULT_MAX_BODY_BYTES
+) -> Request | None:
+    """Parse one request from ``reader``.
+
+    Returns ``None`` on a clean EOF before any bytes (client connected and
+    went away); raises :class:`HttpError` on anything malformed or over the
+    size limits.  Only ``Content-Length`` bodies are supported — a chunked
+    request body is answered ``411`` (the daemon's request payloads are tiny
+    scenario/suite documents, so nothing legitimate streams them).
+    """
+    request_line = await _read_line(reader)
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").rstrip("\r\n").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        line = await _read_line(reader)
+        if line in (b"\r\n", b""):
+            break
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "too many headers")
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(411, "chunked request bodies are not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "invalid Content-Length") from exc
+        if length < 0:
+            raise HttpError(400, "invalid Content-Length")
+        if length > max_body:
+            raise HttpError(413, f"request body exceeds {max_body} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "truncated request body") from exc
+    return Request(
+        method=method.upper(),
+        path=split.path or "/",
+        query=split.query,
+        headers=headers,
+        body=body,
+    )
+
+
+def encode_response(
+    status: int,
+    body: bytes = b"",
+    headers: dict[str, str] | None = None,
+    content_type: str = "application/json",
+) -> bytes:
+    """Wire bytes for one fixed-length ``Connection: close`` response."""
+    lines = [f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}"]
+    merged = {
+        "content-type": content_type,
+        "content-length": str(len(body)),
+        "connection": "close",
+    }
+    merged.update({name.lower(): value for name, value in (headers or {}).items()})
+    lines.extend(f"{name}: {value}" for name, value in merged.items())
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def encode_stream_head(
+    status: int = 200, content_type: str = "application/x-ndjson"
+) -> bytes:
+    """Response head opening a ``Transfer-Encoding: chunked`` stream."""
+    return (
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}\r\n"
+        f"content-type: {content_type}\r\n"
+        "transfer-encoding: chunked\r\n"
+        "connection: close\r\n\r\n"
+    ).encode("latin-1")
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """One chunk of a chunked response (empty data ends the stream)."""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+#: Terminator of a chunked response.
+LAST_CHUNK = b"0\r\n\r\n"
+
+
+def json_body(payload: dict) -> bytes:
+    """Canonical JSON bytes for a response body."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def error_body(status: int, message: str) -> bytes:
+    """The daemon's uniform error-response body."""
+    return json_body(
+        {"error": message, "status": status, "reason": REASONS.get(status, "Unknown")}
+    )

@@ -1,0 +1,229 @@
+"""Multi-client load generator for the prediction daemon (stdlib only).
+
+The daemon's acceptance story is measured, not asserted: this module drives
+it the way a fleet of clients would — N threads, each opening plain HTTP
+connections against the serving endpoints — and reports sustained request
+rate and latency percentiles.  The ``BENCH_SERVE`` benchmark
+(`benchmarks/test_bench_serve.py`) is the canonical driver; tests reuse the
+same :class:`DaemonClient` for single requests and NDJSON streams.
+
+Latency is recorded per request in milliseconds; :func:`percentile` uses the
+same linear interpolation as the accuracy layer so p50/p99 here and there
+mean the same thing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from ..exceptions import ValidationError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Matches NumPy's default method so bench numbers are comparable with the
+    accuracy layer's bands.
+    """
+    if not values:
+        raise ValidationError("cannot take a percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise ValidationError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class DaemonClient:
+    """Minimal HTTP client for the daemon (one connection per request)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def request_json(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        """One request; returns ``(status, decoded JSON body)``."""
+        connection = self._connect()
+        try:
+            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            headers = {} if body is None else {"Content-Type": "application/json"}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            return response.status, decoded
+        finally:
+            connection.close()
+
+    def get_json(self, path: str) -> tuple[int, dict]:
+        return self.request_json("GET", path)
+
+    def post_json(self, path: str, payload: dict) -> tuple[int, dict]:
+        return self.request_json("POST", path, payload)
+
+    def stream_ndjson(
+        self, path: str, payload: dict, max_lines: int | None = None
+    ) -> Iterator[dict]:
+        """POST and yield the response's NDJSON lines as they arrive.
+
+        ``max_lines`` simulates a client that walks away mid-stream: the
+        connection is closed after that many lines even though the server
+        has more to send.
+        """
+        connection = self._connect()
+        try:
+            body = json.dumps(payload).encode("utf-8")
+            connection.request(
+                "POST", path, body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                raise ValidationError(
+                    f"stream request failed with {response.status}: "
+                    f"{raw.decode('utf-8', 'replace')}"
+                )
+            seen = 0
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                yield json.loads(line.decode("utf-8"))
+                seen += 1
+                if max_lines is not None and seen >= max_lines:
+                    return
+        finally:
+            connection.close()
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generator run."""
+
+    clients: int
+    requests: int
+    ok: int
+    #: 429 backpressure rejections.
+    rejected: int
+    #: Any other non-200 outcome (these should be zero in a healthy run).
+    failed: int
+    duration_s: float
+    #: Per-request wall-clock latencies, milliseconds, completion order.
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def req_per_s(self) -> float:
+        """Sustained completed-request rate over the run."""
+        return self.requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_ms(self, q: float) -> float:
+        return percentile(self.latencies_ms, q)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (the ``BENCH_SERVE`` line's core)."""
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "duration_s": round(self.duration_s, 6),
+            "req_per_s": round(self.req_per_s, 3),
+            "p50_ms": round(self.latency_ms(50.0), 3),
+            "p99_ms": round(self.latency_ms(99.0), 3),
+        }
+
+
+def run_predict_load(
+    host: str,
+    port: int,
+    scenarios: Sequence[dict],
+    backend: str,
+    clients: int = 4,
+    requests_per_client: int = 25,
+    policy: dict | None = None,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Hammer ``POST /predict`` from ``clients`` concurrent threads.
+
+    Every client walks the scenario list round-robin from its own offset, so
+    with fewer scenarios than total requests the same points are requested
+    concurrently — exactly the shape that exercises coalescing.  All clients
+    start on a barrier; the duration excludes thread spin-up.
+    """
+    if clients < 1 or requests_per_client < 1:
+        raise ValidationError("clients and requests_per_client must be >= 1")
+    if not scenarios:
+        raise ValidationError("at least one scenario is required")
+    barrier = threading.Barrier(clients + 1)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    counts = {"ok": 0, "rejected": 0, "failed": 0}
+    errors: list[BaseException] = []
+
+    def worker(offset: int) -> None:
+        client = DaemonClient(host, port, timeout=timeout)
+        try:
+            barrier.wait()
+            for step in range(requests_per_client):
+                scenario = scenarios[(offset + step) % len(scenarios)]
+                payload: dict = {"scenario": scenario, "backend": backend}
+                if policy is not None:
+                    payload["policy"] = policy
+                started = time.perf_counter()
+                status, _body = client.post_json("/predict", payload)
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                with lock:
+                    latencies.append(elapsed_ms)
+                    if status == 200:
+                        counts["ok"] += 1
+                    elif status == 429:
+                        counts["rejected"] += 1
+                    else:
+                        counts["failed"] += 1
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            with lock:
+                errors.append(exc)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), name=f"loadgen-{index}")
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+    if errors:
+        raise RuntimeError("load-generator client crashed") from errors[0]
+    return LoadReport(
+        clients=clients,
+        requests=len(latencies),
+        ok=counts["ok"],
+        rejected=counts["rejected"],
+        failed=counts["failed"],
+        duration_s=duration,
+        latencies_ms=latencies,
+    )

@@ -139,6 +139,38 @@ class TestSweep:
             "0 memory hits, 2 store hits, 0 to evaluate"
         ) in warm
 
+    def test_sweep_plan_line_is_final_partition_in_process_mode(
+        self, tmp_path, capsys
+    ):
+        # The plan is computed (store probes included) and printed *before*
+        # evaluation, and the run executes exactly that plan — so the line
+        # reflects the final memory/store/miss partition even in process
+        # mode, where evaluation itself hops worker processes.
+        suite = ScenarioSuite.from_sweep(
+            "cli-plan-process",
+            Scenario(input_size_bytes=megabytes(256), num_reduces=2, repetitions=1),
+            num_nodes=[2, 3],
+        )
+        suite_path = tmp_path / "suite.json"
+        suite_path.write_text(suite.to_json())
+        args = [
+            "sweep", "--suite", str(suite_path),
+            "--backend", "aria", "--store", str(tmp_path / "store"),
+            "--execution", "process",
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().err
+        assert (
+            "sweep 'cli-plan-process': 2 points (2 scenarios x 1 backends), "
+            "0 memory hits, 0 store hits, 2 to evaluate"
+        ) in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().err
+        assert (
+            "sweep 'cli-plan-process': 2 points (2 scenarios x 1 backends), "
+            "0 memory hits, 2 store hits, 0 to evaluate"
+        ) in warm
+
     def test_sweep_with_store_reuses_results_across_runs(self, tmp_path, capsys):
         suite = ScenarioSuite.from_sweep(
             "cli-sweep-store",
