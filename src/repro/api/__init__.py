@@ -13,10 +13,16 @@ prediction engines:
 * :class:`PredictionService` — batch evaluation of suites across backends
   with keyed result caching, serial / thread-pool / process-pool execution
   modes, and one-call ``predict_batch`` dispatch to batch-capable backends;
-* :class:`ResultStore` — a persistent, crash-tolerant result store keyed by
-  ``(Scenario.cache_key(), backend)``, so sweeps survive process restarts;
+* :class:`ResultStore` / :class:`SqliteResultStore` (via :func:`open_store`)
+  — persistent, crash-tolerant result stores keyed by
+  ``(Scenario.cache_key(), backend)`` — sharded JSON or single-file SQLite
+  behind one contract — with TTL/size garbage collection
+  (:meth:`BaseResultStore.gc`) and a claim/lease namespace
+  (:class:`LeaseManager`) for cooperative multi-worker sweeps;
 * :class:`SweepScheduler` — store-aware sweep planning: compute the missing
-  points of a target grid, execute only those, resume interrupted sweeps;
+  points of a target grid, execute only those, resume interrupted sweeps —
+  or drain one grid from k processes with zero duplicate evaluations
+  (:meth:`SweepScheduler.run_cooperative`);
 * :class:`RetryPolicy` / :class:`BreakerPolicy` / :class:`CircuitBreaker` —
   the resilience layer: bounded retries with deterministic backoff,
   per-evaluation deadlines, per-backend circuit breaking, and the
@@ -65,17 +71,32 @@ from .service import (
     ServiceStats,
     SuiteResult,
 )
-from .store import QUARANTINE_DIR, STORE_FORMAT_VERSION, ResultStore, StoreStats
-from .sweep import SweepOutcome, SweepPlan, SweepScheduler
+from .store import (
+    QUARANTINE_DIR,
+    STORE_FORMAT_VERSION,
+    STORE_FORMATS,
+    BaseResultStore,
+    GcStats,
+    LeaseManager,
+    ResultStore,
+    SqliteResultStore,
+    StoreStats,
+    open_store,
+)
+from .sweep import CooperativeOutcome, SweepOutcome, SweepPlan, SweepScheduler
 
 __all__ = [
     "BackendComparison",
+    "BaseResultStore",
     "BreakerPolicy",
     "BreakerSnapshot",
     "CircuitBreaker",
+    "CooperativeOutcome",
     "DEFAULT_BASELINE",
     "EXECUTION_MODES",
     "FailedResult",
+    "GcStats",
+    "LeaseManager",
     "NO_RETRY",
     "ON_ERROR_MODES",
     "PredictionBackend",
@@ -85,10 +106,12 @@ __all__ = [
     "ResultStore",
     "RetryPolicy",
     "SCENARIO_SPEC_VERSION",
+    "STORE_FORMATS",
     "STORE_FORMAT_VERSION",
     "Scenario",
     "ScenarioSuite",
     "ServiceStats",
+    "SqliteResultStore",
     "StoreStats",
     "SuiteResult",
     "SweepOutcome",
@@ -100,6 +123,7 @@ __all__ = [
     "backend_supports_batch",
     "backend_version",
     "create_backend",
+    "open_store",
     "register_backend",
     "register_workload_profile",
 ]

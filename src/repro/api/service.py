@@ -71,7 +71,7 @@ from .resilience import (
 )
 from .results import BackendComparison, FailedResult, PredictionResult
 from .scenario import Scenario, ScenarioSuite
-from .store import ResultStore
+from .store import BaseResultStore, open_store
 
 logger = logging.getLogger(__name__)
 
@@ -263,7 +263,8 @@ class PredictionService:
         max_workers: int | None = None,
         cache: bool = True,
         backend_options: dict[str, dict] | None = None,
-        store: ResultStore | str | os.PathLike | None = None,
+        store: BaseResultStore | str | os.PathLike | None = None,
+        store_format: str | None = None,
         execution: str = "thread",
         batch: bool = True,
         retry: RetryPolicy | int | None = None,
@@ -296,8 +297,10 @@ class PredictionService:
         #: ``predict_batch`` call.  ``batch=False`` forces the per-scenario
         #: path (the benches use it as the batching baseline).
         self._batch_enabled = batch
-        if store is not None and not isinstance(store, ResultStore):
-            store = ResultStore(store)
+        if store is not None and not isinstance(store, BaseResultStore):
+            # A path opens whichever engine the directory already holds
+            # (``store_format`` forces one; see ``open_store``).
+            store = open_store(store, format=store_format)
         self._store = store
         self._retry = RetryPolicy.resolve(retry)
         self._timeout = timeout
@@ -337,9 +340,22 @@ class PredictionService:
         return self._execution
 
     @property
-    def store(self) -> ResultStore | None:
+    def store(self) -> BaseResultStore | None:
         """The persistent result store, if one is attached."""
         return self._store
+
+    def point_token(self, key: str, backend: str) -> str:
+        """The store/lease token of one ``(cache key, backend)`` point.
+
+        Folds in the backend options this service would evaluate the point
+        with, so the token matches the record slot the result will land in
+        — the cooperative sweep claims exactly what it will write.
+        """
+        if self._store is None:
+            raise ValidationError("point_token requires an attached result store")
+        return self._store.point_token(
+            key, backend, options=self._backend_options.get(backend, {})
+        )
 
     @property
     def batch_enabled(self) -> bool:

@@ -1,144 +1,83 @@
-"""Persistent result store: prediction results that survive process restarts.
+"""Sharded-JSON result store: one atomic file per record.
 
-A :class:`ResultStore` materialises :class:`~repro.api.results.PredictionResult`
-records on disk keyed by ``(Scenario.cache_key(), backend)``, so sweeps,
-figure runs, and benches pay for each (scenario, backend) evaluation exactly
-once across process lifetimes — re-running a sweep after a crash (or on a
-fresh machine sharing the store directory) replays the completed points from
-disk and only computes the missing ones.
-
-Layout: sharded JSON.  Each record is one small JSON file under
-``<store>/records/<hh>/<digest>.json`` where ``digest`` is the SHA-256 of the
-``(backend, canonical backend options, cache key)`` triple and ``hh`` its
-first two hex characters.  Backend constructor options are part of the key
-because they change what a backend computes: two services configured
-differently never share a record.  One
-file per record keeps every write atomic (the record is written to a
-temporary file in the same directory and ``os.replace``d into place), which
-makes concurrent writers on one store path safe: two processes computing the
-same point race to rename identical content, and distinct points never touch
-the same file.
+Layout: each record is one small JSON file under
+``<store>/records/<hh>/<digest>.json`` where ``digest`` is the point token
+(see :func:`~repro.api.store.base.point_token`) and ``hh`` its first two hex
+characters.  One file per record keeps every write atomic (the record is
+written to a temporary file in the same directory and ``os.replace``\\ d into
+place), which makes concurrent writers on one store path safe: two processes
+computing the same point race to rename identical content, and distinct
+points never touch the same file.
 
 Records are versioned three ways — the store format itself, the scenario
 spec (:data:`~repro.api.scenario.SCENARIO_SPEC_VERSION`), and the producing
 backend's ``version`` attribute.  A record written under any other version is
-skipped as stale on load, so bumping a backend's version invalidates exactly
-that backend's cached results.  A truncated or garbled record file is never
-fatal: it is counted in :attr:`ResultStore.stats`, logged, and moved aside
-into the ``<store>/.quarantine/`` directory (reason prefixed to the file
-name) so corruption stays inspectable instead of silently vanishing; the
-next ``put`` of that point writes a fresh record.  Stale records are *not*
-quarantined — they are valid data for a different code version.
+skipped as stale on load.  A truncated or garbled record file is never
+fatal: it is counted, logged, and moved aside into ``<store>/.quarantine/``
+(reason prefixed to the file name); the next ``put`` of that point writes a
+fresh record.  Stale records are *not* quarantined — they are valid data for
+a different code version.
+
+Unusable probe outcomes are memoised: a stale or corrupt record would
+otherwise be re-opened and re-JSON-decoded on *every* ``get`` of that point.
+The memo is keyed by the file's stat signature ``(inode, mtime, size)``, so a
+concurrent process overwriting the slot with a valid record (a new inode via
+``os.replace``) is still picked up immediately — cross-process visibility
+costs one ``stat`` per miss instead of one parse.
 """
 
 from __future__ import annotations
 
 import contextlib
-import hashlib
 import json
 import logging
 import os
 import tempfile
-import threading
+import time
 from collections.abc import Sequence
-from dataclasses import dataclass
 from pathlib import Path
 
-from ..exceptions import StoreError
-from .backends import backend_version
-from .results import PredictionResult
-from .scenario import SCENARIO_SPEC_VERSION
+from ...exceptions import StoreError
+from ..backends import backend_version
+from ..results import PredictionResult
+from ..scenario import SCENARIO_SPEC_VERSION
+from .base import (
+    _RECORD_MODE,
+    _REQUIRED_FIELDS,
+    QUARANTINE_DIR,
+    STORE_FORMAT_VERSION,
+    BaseResultStore,
+    GcStats,
+    StoreStats,
+    _canonical_options,
+)
 
 logger = logging.getLogger(__name__)
 
-#: Version of the on-disk record envelope; bump on layout changes.
-STORE_FORMAT_VERSION = 1
+#: Entries kept in the unusable-probe memo before the oldest are evicted.
+_PROBE_MEMO_MAX = 4096
 
-#: Sibling directory corrupt records are moved into (reason-prefixed names).
-QUARANTINE_DIR = ".quarantine"
-
-#: Fields every record envelope must carry to be considered well-formed.
-_REQUIRED_FIELDS = (
-    "format",
-    "spec_version",
-    "backend",
-    "backend_version",
-    "options",
-    "key",
-    "result",
-)
+#: A file's identity for the probe memo: changes whenever the slot is
+#: rewritten (os.replace allocates a new inode) or even touched in place.
+_StatSignature = tuple[int, int, int]
 
 
-def _current_umask() -> int:
-    """The process umask (readable only by setting and restoring it)."""
-    mask = os.umask(0)
-    os.umask(mask)
-    return mask
+def _stat_signature(stat: os.stat_result) -> _StatSignature:
+    return (stat.st_ino, stat.st_mtime_ns, stat.st_size)
 
 
-#: Permissions for record files.  mkstemp creates 0600 files, but shared
-#: store directories need ordinary umask-governed permissions so peers can
-#: read each other's records.  Captured once at import: the umask read is a
-#: process-global set-and-restore and must not race concurrent puts.
-_RECORD_MODE = 0o666 & ~_current_umask()
+class ResultStore(BaseResultStore):
+    """Disk-backed result mapping, sharded JSON engine."""
 
-
-def _canonical_options(options: "dict | None") -> str:
-    """Stable string form of a backend's constructor options.
-
-    Options change what a backend computes, so they partition the store:
-    they are folded into the record digest and envelope.  ``default=repr``
-    keeps this total — unserialisable option values yield a stable-enough
-    key instead of an exception on lookup.
-    """
-    return json.dumps(options or {}, sort_keys=True, default=repr)
-
-
-@dataclass
-class StoreStats:
-    """Outcome of one disk scan: how many records were usable."""
-
-    loaded: int = 0
-    #: Unparseable or structurally invalid record files (skipped, logged).
-    corrupt: int = 0
-    #: Well-formed records written under a different format/spec/backend version.
-    stale: int = 0
-    #: Corrupt records successfully moved into the quarantine directory
-    #: (at most :attr:`corrupt`; a quarantine move can itself fail).
-    quarantined: int = 0
-
-
-class ResultStore:
-    """Disk-backed ``(cache key, backend) -> PredictionResult`` mapping."""
+    format_name = "json"
 
     def __init__(self, path: str | os.PathLike) -> None:
-        self._path = Path(path)
-        if self._path.exists() and not self._path.is_dir():
-            raise StoreError(
-                f"store path {str(self._path)!r} exists and is not a directory"
-            )
+        super().__init__(path)
         self._records_dir = self._path / "records"
-        self._lock = threading.Lock()
-        # Populated lazily: get() probes exactly the record files it needs,
-        # so opening a store stays O(1) however many records it has grown to.
-        # refresh() performs the full scan when a complete view is wanted.
-        self._index: dict[tuple[str, str, str], PredictionResult] = {}
-        self.stats = StoreStats()
-
-    @property
-    def path(self) -> Path:
-        """Root directory of the store."""
-        return self._path
-
-    def __len__(self) -> int:
-        """Number of *indexed* records (run :meth:`refresh` for the disk total)."""
-        with self._lock:
-            return len(self._index)
-
-    def keys(self) -> list[tuple[str, str, str]]:
-        """All indexed ``(cache key, backend, canonical options)`` triples."""
-        with self._lock:
-            return list(self._index)
+        # Bounded memo of unusable probes: index key -> stat signature the
+        # slot was last found stale/corrupt at.  Guarded by ``self._lock``;
+        # invalidated per-key by put() and wholesale by refresh().
+        self._probe_memo: dict[tuple[str, str, str], _StatSignature] = {}
 
     # -- lookup ---------------------------------------------------------------
 
@@ -150,7 +89,9 @@ class ResultStore:
         ``options`` are the backend's constructor options: a record is only a
         hit for the configuration that produced it.  Misses probe the disk
         before giving up, so records written by a concurrent process on the
-        same store path are picked up without an explicit :meth:`refresh`.
+        same store path are picked up without an explicit :meth:`refresh`;
+        repeated probes of a slot known to be stale or corrupt cost one
+        ``stat`` each, not a parse (see the probe memo in the module docs).
         """
         options_key = _canonical_options(options)
         index_key = (key, backend, options_key)
@@ -158,15 +99,32 @@ class ResultStore:
             hit = self._index.get(index_key)
         if hit is not None:
             return hit
+        path = self._record_path(key, backend, options_key)
+        return self._probe(index_key, path)
+
+    def _probe(
+        self, index_key: tuple[str, str, str], path: Path
+    ) -> PredictionResult | None:
+        """One memoised disk probe of a known-unindexed point."""
+        try:
+            signature = _stat_signature(os.stat(path))
+        except OSError:
+            return None  # no record file: nothing to parse, nothing to memo
+        with self._lock:
+            if self._probe_memo.get(index_key) == signature:
+                return None  # unchanged since it was last found unusable
         # Probe outcomes go to a throwaway stats object: ``stats`` documents
         # the last full scan, and probes run concurrently from pool threads.
-        loaded = self._read_record(
-            self._record_path(key, backend, options_key), StoreStats()
-        )
+        loaded = self._read_record(path, StoreStats())
         if loaded is not None and loaded[:3] == index_key:
             with self._lock:
                 self._index[index_key] = loaded[3]
+                self._probe_memo.pop(index_key, None)
             return loaded[3]
+        with self._lock:
+            self._probe_memo[index_key] = signature
+            while len(self._probe_memo) > _PROBE_MEMO_MAX:
+                self._probe_memo.pop(next(iter(self._probe_memo)))
         return None
 
     def get_many(
@@ -179,7 +137,8 @@ class ResultStore:
         with **one directory listing per shard** instead of one file probe
         per record: a sweep planner asking for thousands of mostly-missing
         points costs at most 256 ``listdir`` calls, and only record files
-        that actually exist are opened and parsed.
+        that actually exist are opened and parsed (stale/corrupt slots via
+        the same probe memo as :meth:`get`).
         """
         found: dict[tuple[str, str], PredictionResult] = {}
         shard_probes: dict[Path, list[tuple[tuple[str, str, str], Path]]] = {}
@@ -201,11 +160,9 @@ class ResultStore:
             for index_key, path in probes:
                 if path.name not in present:
                     continue
-                loaded = self._read_record(path, StoreStats())
-                if loaded is not None and loaded[:3] == index_key:
-                    with self._lock:
-                        self._index[index_key] = loaded[3]
-                    found[(index_key[0], index_key[1])] = loaded[3]
+                loaded = self._probe(index_key, path)
+                if loaded is not None:
+                    found[(index_key[0], index_key[1])] = loaded
         return found
 
     # -- writes ---------------------------------------------------------------
@@ -227,6 +184,7 @@ class ResultStore:
             "options": options_key,
             "key": key,
             "result": result.to_dict(),
+            "created": time.time(),
         }
         path = self._record_path(key, backend, options_key)
         try:
@@ -249,11 +207,18 @@ class ResultStore:
             raise StoreError(f"cannot write store record {str(path)!r}: {exc}") from exc
         with self._lock:
             self._index[(key, backend, options_key)] = result
+            self._probe_memo.pop((key, backend, options_key), None)
 
     # -- maintenance ----------------------------------------------------------
 
     def refresh(self) -> StoreStats:
-        """Rescan the directory, replacing the in-memory index."""
+        """Rescan the directory; the result is *merged* over the live index.
+
+        Merging (rather than wholesale replacement) closes the race where a
+        concurrent ``put`` lands after the scan already passed its shard:
+        the record is durably on disk, and its index entry must survive the
+        refresh — see :meth:`BaseResultStore._publish_refresh`.
+        """
         stats = StoreStats()
         index: dict[tuple[str, str, str], PredictionResult] = {}
         if self._records_dir.is_dir():
@@ -263,14 +228,85 @@ class ResultStore:
                     key, backend, options_key, result = loaded
                     index[(key, backend, options_key)] = result
         with self._lock:
-            self._index = index
-            self.stats = stats
+            self._probe_memo.clear()
+        return self._publish_refresh(index, stats)
+
+    def gc(
+        self,
+        ttl: float | None = None,
+        max_records: int | None = None,
+        dry_run: bool = False,
+    ) -> GcStats:
+        """TTL expiry, stale purge, size-capped eviction, shard compaction.
+
+        Record age is the file's mtime (every atomic put rewrites it, so
+        mtime is the record's last write).  Eviction removes oldest-first.
+        Purged records drop out of the in-memory index too; emptied shard
+        directories are removed so a shrunken store stays O(occupied shards)
+        to scan.
+        """
+        stats = GcStats(dry_run=dry_run)
+        now = time.time()
+        survivors: list[tuple[float, Path, tuple[str, str, str] | None]] = []
+        purged_keys: list[tuple[str, str, str]] = []
+
+        def purge(path: Path, index_key: tuple[str, str, str] | None) -> None:
+            with contextlib.suppress(OSError):
+                stats.reclaimed_bytes += path.stat().st_size
+            if not dry_run:
+                with contextlib.suppress(OSError):
+                    os.unlink(path)
+                if index_key is not None:
+                    purged_keys.append(index_key)
+
+        if self._records_dir.is_dir():
+            for record_file in sorted(self._records_dir.glob("??/*.json")):
+                stats.examined += 1
+                scan = StoreStats()
+                loaded = self._read_record(record_file, scan)
+                if scan.corrupt:
+                    stats.corrupt += 1  # already quarantined by the read path
+                    continue
+                try:
+                    mtime = record_file.stat().st_mtime
+                except OSError:
+                    continue
+                if scan.stale:
+                    stats.stale += 1
+                    purge(record_file, None)
+                    continue
+                if loaded is None:
+                    continue  # vanished mid-scan
+                index_key = loaded[:3]
+                if ttl is not None and now - mtime > ttl:
+                    stats.expired += 1
+                    purge(record_file, index_key)
+                    continue
+                survivors.append((mtime, record_file, index_key))
+        if max_records is not None and len(survivors) > max_records:
+            survivors.sort(key=lambda entry: entry[0])
+            excess = len(survivors) - max_records
+            for mtime, path, index_key in survivors[:excess]:
+                stats.evicted += 1
+                purge(path, index_key)
+            survivors = survivors[excess:]
+        stats.remaining = len(survivors)
+        self._drop_indexed(purged_keys)
+        self._gc_leases(stats, dry_run)
+        if not dry_run and self._records_dir.is_dir():
+            for shard in sorted(self._records_dir.iterdir()):
+                if shard.is_dir():
+                    with contextlib.suppress(OSError):
+                        shard.rmdir()  # only succeeds when empty
+                        stats.shards_removed += 1
         return stats
 
     # -- internals ------------------------------------------------------------
 
     def _record_path(self, key: str, backend: str, options_key: str) -> Path:
-        digest = hashlib.sha256(f"{backend}\n{options_key}\n{key}".encode()).hexdigest()
+        from .base import point_token
+
+        digest = point_token(key, backend, options_key)
         return self._records_dir / digest[:2] / f"{digest}.json"
 
     def _quarantine(self, path: Path, reason: str) -> Path | None:

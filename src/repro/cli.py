@@ -17,20 +17,27 @@ main entry points of the library through the unified prediction API:
 * ``serve``    — run the long-lived prediction daemon (HTTP/JSON endpoints
   with bounded admission, request coalescing, per-request resilience
   policies, streaming NDJSON sweeps, graceful SIGTERM drain);
+* ``store``    — maintain a persistent result store (``store gc`` expires,
+  evicts and compacts records; ``store info`` reports contents and leases);
 * ``simulate`` — run the YARN simulator and print per-job traces.
 
 ``predict`` / ``compare`` / ``sweep`` / ``figure`` accept ``--store PATH``
-(persist results across runs through a :class:`~repro.api.ResultStore`),
-``--execution {serial,thread,process}`` (suite fan-out strategy),
-``--no-batch`` (disable one-call ``predict_batch`` dispatch for the
-batch-capable analytic backends), and the fault-tolerance knobs
-``--retries N`` (retry transient failures with exponential backoff),
-``--timeout SECONDS`` (per-evaluation deadline) and
-``--on-error {raise,skip,record}`` (partial-results contract for points
-that fail terminally).  ``sweep`` schedules through
+(persist results across runs through a result store; ``--store-format
+json|sqlite`` selects the engine for a new store), ``--execution
+{serial,thread,process}`` (suite fan-out strategy), ``--no-batch`` (disable
+one-call ``predict_batch`` dispatch for the batch-capable analytic
+backends), and the fault-tolerance knobs ``--retries N`` (retry transient
+failures with exponential backoff), ``--timeout SECONDS`` (per-evaluation
+deadline) and ``--on-error {raise,skip,record}`` (partial-results contract
+for points that fail terminally).  ``sweep`` schedules through
 :class:`~repro.api.SweepScheduler`: it first reports how many grid points
 are already answered by the cache/store and evaluates only the missing ones,
-so an interrupted store-backed sweep resumes where it left off.
+so an interrupted store-backed sweep resumes where it left off.  With
+``--worker-id`` (plus ``--store``), ``sweep`` joins the *cooperative* fabric
+instead: k such processes sharing one store path claim points through the
+store's lease namespace and drain the grid together with zero duplicate
+evaluations — kill one mid-run and its claims expire after ``--lease-ttl``
+seconds, to be taken over by the survivors.
 """
 
 from __future__ import annotations
@@ -45,12 +52,14 @@ from .analysis import ascii_series_plot, format_series_table
 from .api import (
     EXECUTION_MODES,
     ON_ERROR_MODES,
+    STORE_FORMATS,
     PredictionService,
     Scenario,
     ScenarioSuite,
     SweepScheduler,
     WORKLOAD_PROFILES,
     backend_names,
+    open_store,
 )
 from .api.dashboard import (
     ARTIFACT_PREFIX,
@@ -110,6 +119,14 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
         help="persistent result-store directory; results are reused across runs",
     )
     parser.add_argument(
+        "--store-format",
+        dest="store_format",
+        default=None,
+        choices=STORE_FORMATS,
+        help="store engine for a NEW --store directory (an existing store "
+        "keeps its engine; default for new stores: json)",
+    )
+    parser.add_argument(
         "--execution",
         default="thread",
         choices=EXECUTION_MODES,
@@ -156,6 +173,7 @@ def _service_from_args(
         backends=backends,
         max_workers=max_workers,
         store=args.store,
+        store_format=args.store_format,
         execution=args.execution,
         batch=not args.no_batch,
         retry=args.retries,
@@ -288,12 +306,28 @@ def _command_sweep(args: argparse.Namespace) -> int:
     backends = args.backend or list(DEFAULT_SWEEP_BACKENDS)
     service = _service_from_args(args, backends, max_workers=args.max_workers)
     scheduler = SweepScheduler(service)
-    # Plan first and announce it *before* evaluating, then execute exactly
-    # that plan: the stderr line reflects the final memory/store/miss
-    # partition (probes included), and appears up front on long sweeps.
-    plan = scheduler.plan(suite, backends)
-    print(plan.describe(), file=sys.stderr, flush=True)
-    outcome = scheduler.run(suite, backends, plan=plan)
+    if args.worker_id is not None:
+        # Cooperative mode: claim points through the shared store's lease
+        # namespace and drain the grid together with every peer process
+        # pointed at the same --store path.
+        if args.store is None:
+            raise ValidationError("--worker-id requires --store (the shared store)")
+        outcome = scheduler.run_cooperative(
+            suite,
+            backends,
+            worker_id=args.worker_id,
+            lease_ttl=args.lease_ttl,
+            claim_limit=args.claim_limit,
+        )
+        print(outcome.plan.describe(), file=sys.stderr, flush=True)
+        print(outcome.describe(), file=sys.stderr, flush=True)
+    else:
+        # Plan first and announce it *before* evaluating, then execute exactly
+        # that plan: the stderr line reflects the final memory/store/miss
+        # partition (probes included), and appears up front on long sweeps.
+        plan = scheduler.plan(suite, backends)
+        print(plan.describe(), file=sys.stderr, flush=True)
+        outcome = scheduler.run(suite, backends, plan=plan)
     suite_result = outcome.result
     if args.json:
         print(json.dumps(suite_result.to_dict(), indent=2))
@@ -405,6 +439,47 @@ def _command_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_store_gc(args: argparse.Namespace) -> int:
+    store = open_store(args.path, format=args.store_format)
+    stats = store.gc(
+        ttl=args.ttl, max_records=args.max_records, dry_run=args.dry_run
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "store": str(store.path),
+                    "format": store.format_name,
+                    "examined": stats.examined,
+                    "expired": stats.expired,
+                    "stale": stats.stale,
+                    "evicted": stats.evicted,
+                    "corrupt": stats.corrupt,
+                    "remaining": stats.remaining,
+                    "leases_removed": stats.leases_removed,
+                    "shards_removed": stats.shards_removed,
+                    "reclaimed_bytes": stats.reclaimed_bytes,
+                    "dry_run": stats.dry_run,
+                }
+            )
+        )
+    else:
+        print(f"store {store.path} ({store.format_name}): {stats.describe()}")
+    return 0
+
+
+def _command_store_info(args: argparse.Namespace) -> int:
+    store = open_store(args.path, format=args.store_format)
+    stats = store.refresh()
+    leases = store.lease_manager(worker_id="info").scan()
+    live = sum(1 for info in leases if not info.expired())
+    print(f"store:   {store.path}")
+    print(f"format:  {store.format_name}")
+    print(f"records: {stats.loaded} usable, {stats.stale} stale, {stats.corrupt} corrupt")
+    print(f"leases:  {live} live, {len(leases) - live} expired")
+    return 0
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     scenario = _scenario_from_args(args)
     workload = scenario.workload_spec()
@@ -496,6 +571,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--json", action="store_true", help="print the full result grid as JSON"
+    )
+    sweep_parser.add_argument(
+        "--worker-id",
+        dest="worker_id",
+        default=None,
+        metavar="NAME",
+        help="join the cooperative sweep fabric under this worker name "
+        "(requires --store; peers sharing the store drain the grid "
+        "together with zero duplicate evaluations)",
+    )
+    sweep_parser.add_argument(
+        "--lease-ttl",
+        dest="lease_ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cooperative lease time-to-live: a crashed worker's claims "
+        "expire after this long and are re-claimed by peers (default: 30)",
+    )
+    sweep_parser.add_argument(
+        "--claim-limit",
+        dest="claim_limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="claim at most N points per cooperative round (default: all "
+        "available; small values load-balance a k-worker fabric)",
     )
     _add_service_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=_command_sweep)
@@ -608,6 +710,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_service_arguments(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="maintain a persistent result store (gc, info)",
+    )
+    store_subparsers = store_parser.add_subparsers(dest="store_command", required=True)
+    store_gc_parser = store_subparsers.add_parser(
+        "gc",
+        help="expire, evict, and compact store records; reap dead leases",
+    )
+    store_gc_parser.add_argument("path", help="store directory")
+    store_gc_parser.add_argument(
+        "--store-format",
+        dest="store_format",
+        default=None,
+        choices=STORE_FORMATS,
+        help="expected engine (default: detect from the directory layout)",
+    )
+    store_gc_parser.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="purge records older than this many seconds",
+    )
+    store_gc_parser.add_argument(
+        "--max-records",
+        dest="max_records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="after expiry, evict the oldest records until at most N remain",
+    )
+    store_gc_parser.add_argument(
+        "--dry-run",
+        dest="dry_run",
+        action="store_true",
+        help="report what would be purged without deleting anything",
+    )
+    store_gc_parser.add_argument(
+        "--json", action="store_true", help="print the gc stats as JSON"
+    )
+    store_gc_parser.set_defaults(handler=_command_store_gc)
+    store_info_parser = store_subparsers.add_parser(
+        "info", help="report a store's engine, record counts, and leases"
+    )
+    store_info_parser.add_argument("path", help="store directory")
+    store_info_parser.add_argument(
+        "--store-format",
+        dest="store_format",
+        default=None,
+        choices=STORE_FORMATS,
+        help="expected engine (default: detect from the directory layout)",
+    )
+    store_info_parser.set_defaults(handler=_command_store_info)
 
     # simulate is one seeded raw run (per-job traces), so --repetitions —
     # which only affects the simulator *backend*'s median-of-N — is omitted.

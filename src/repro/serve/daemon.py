@@ -338,6 +338,18 @@ class PredictionDaemon:
                 "max_inflight": self.config.max_inflight,
                 "queue_depth": self.config.queue_depth,
             },
+            # Engine-agnostic store surface: null without a store, else the
+            # engine name and path so operators can see what the daemon
+            # persists into (json shards vs one sqlite file).
+            "store": (
+                None
+                if self.service.store is None
+                else {
+                    "format": self.service.store.format_name,
+                    "path": str(self.service.store.path),
+                    "indexed_records": len(self.service.store),
+                }
+            ),
         }
 
     # -- work endpoints --------------------------------------------------------
@@ -649,6 +661,7 @@ def _plan_dict(plan) -> dict:
         "memory_hits": len(plan.memory_hits),
         "store_hits": len(plan.store_hits),
         "missing": len(plan.missing),
+        "leased": len(plan.leased),
     }
 
 

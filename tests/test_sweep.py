@@ -280,9 +280,9 @@ class TestGetMany:
             listed.append(str(path))
             return original_listdir(path)
 
-        import repro.api.store as store_module
+        import repro.api.store.json_store as json_store_module
 
-        monkeypatch.setattr(store_module.os, "listdir", counting_listdir)
+        monkeypatch.setattr(json_store_module.os, "listdir", counting_listdir)
         # Many more points than shards: listdir calls are bounded by the
         # number of distinct shards, not by the number of probed points.
         points = [
