@@ -27,7 +27,12 @@ prediction engines:
   the resilience layer: bounded retries with deterministic backoff,
   per-evaluation deadlines, per-backend circuit breaking, and the
   ``on_error="raise" | "skip" | "record"`` partial-results contract whose
-  failures surface as structured :class:`FailedResult` rows.
+  failures surface as structured :class:`FailedResult` rows;
+* :class:`FailureSpec` — deterministic failure injection (stragglers,
+  task-attempt failures, node loss, speculative execution) simulated in
+  full by the ``simulator`` backend; analytic backends degrade gracefully —
+  expected-value inflation where the spec admits it, a structured
+  :class:`BackendCapabilityError` where it does not.
 
 Quick example::
 
@@ -39,6 +44,8 @@ Quick example::
     print(result.summary())
 """
 
+from ..config import FailureSpec
+from ..exceptions import BackendCapabilityError
 from .backends import (
     PredictionBackend,
     backend_is_cpu_bound,
@@ -86,6 +93,7 @@ from .store import (
 from .sweep import CooperativeOutcome, SweepOutcome, SweepPlan, SweepScheduler
 
 __all__ = [
+    "BackendCapabilityError",
     "BackendComparison",
     "BaseResultStore",
     "BreakerPolicy",
@@ -95,6 +103,7 @@ __all__ = [
     "DEFAULT_BASELINE",
     "EXECUTION_MODES",
     "FailedResult",
+    "FailureSpec",
     "GcStats",
     "LeaseManager",
     "NO_RETRY",

@@ -28,7 +28,8 @@ import numpy as np
 from ..core.estimators import EstimatorKind
 from ..core.model import Hadoop2PerformanceModel
 from ..core.parameters import TaskClass
-from ..exceptions import BackendError
+from ..exceptions import BackendCapabilityError, BackendError
+from ..hadoop.failures import expected_inflation
 from ..hadoop.simulator import ClusterSimulator
 from ..static_models.aria import AriaJobProfile, AriaModel, batch_stage_bounds
 from ..static_models.herodotou import CostStatistics, HerodotouJobModel, batch_estimate
@@ -189,6 +190,62 @@ def _fair_share(total: int, num_jobs: int) -> int:
     return max(1, total // num_jobs)
 
 
+# -- graceful degradation under failure specs ----------------------------------
+#
+# Only the simulator models failures mechanistically.  The analytic backends
+# follow a strict contract: apply an expected-value inflation correction where
+# the model supports it (stragglers + task re-execution are mean-field
+# effects), and *decline* — a structured BackendCapabilityError, never a
+# silently failure-free number — where it doesn't (mid-run node loss and
+# speculative races are scheduling-history dependent).
+
+
+def _failure_inflation_factor(scenario: Scenario, backend_name: str) -> float:
+    """Expected-value correction factor for an analytic backend, or raise.
+
+    Returns 1.0 for failure-free scenarios.  Raises
+    :class:`~repro.exceptions.BackendCapabilityError` for spec features with
+    no closed-form correction (node failures, speculative execution).
+    """
+    spec = scenario.failures
+    if spec is None or spec.is_noop:
+        return 1.0
+    if spec.node_failure_times:
+        raise BackendCapabilityError(
+            f"backend {backend_name!r} cannot model mid-run node failures; "
+            "use the simulator backend for this failure spec"
+        )
+    if spec.speculative:
+        raise BackendCapabilityError(
+            f"backend {backend_name!r} cannot model speculative execution; "
+            "use the simulator backend for this failure spec"
+        )
+    return expected_inflation(spec)
+
+
+def _decline_failures(scenario: Scenario, backend_name: str) -> None:
+    """Refuse any non-noop failure spec (backends without a correction)."""
+    spec = scenario.failures
+    if spec is not None and not spec.is_noop:
+        raise BackendCapabilityError(
+            f"backend {backend_name!r} has no failure model or correction; "
+            "use the simulator backend for this failure spec"
+        )
+
+
+def _inflate_result(result: PredictionResult, factor: float) -> PredictionResult:
+    """Scale a clean prediction by the expected failure inflation (>= 1)."""
+    if factor == 1.0:
+        return result
+    return PredictionResult(
+        backend=result.backend,
+        scenario=result.scenario,
+        total_seconds=result.total_seconds * factor,
+        phases={name: seconds * factor for name, seconds in result.phases.items()},
+        metadata={**result.metadata, "failure_inflation": factor},
+    )
+
+
 class _MvaBackend:
     """Shared implementation of the two analytic-model backends."""
 
@@ -218,9 +275,10 @@ class _MvaBackend:
         )
 
     def predict(self, scenario: Scenario) -> PredictionResult:
+        factor = _failure_inflation_factor(scenario, self.name)
         model = Hadoop2PerformanceModel(scenario.model_input())
         prediction = model.predict(self.kind)
-        return self._result(scenario, prediction)
+        return _inflate_result(self._result(scenario, prediction), factor)
 
     def predict_batch(self, scenarios: Sequence[Scenario]) -> list[PredictionResult]:
         """Grid-ordered, warm-started evaluation of a whole sweep.
@@ -233,6 +291,9 @@ class _MvaBackend:
         shrinks (``metadata["warm_started"]`` records which points were
         seeded).
         """
+        factors = [
+            _failure_inflation_factor(scenario, self.name) for scenario in scenarios
+        ]
         results: list[PredictionResult | None] = [None] * len(scenarios)
         seeds: dict[tuple, tuple] = {}
         for index in _grid_order(scenarios):
@@ -248,8 +309,9 @@ class _MvaBackend:
             model = Hadoop2PerformanceModel(model_input)
             prediction = model.predict(self.kind, initial_residences=seed)
             seeds[family] = (model.trace(self.kind).final_residences, model_input)
-            results[index] = self._result(
-                scenario, prediction, warm_started=seed is not None
+            results[index] = _inflate_result(
+                self._result(scenario, prediction, warm_started=seed is not None),
+                factors[index],
             )
         return results
 
@@ -281,6 +343,7 @@ class AriaBackend:
     name: ClassVar[str]
 
     def predict(self, scenario: Scenario) -> PredictionResult:
+        factor = _failure_inflation_factor(scenario, self.name)
         model_input = scenario.model_input()
         spread = 1.0 + _ARIA_SPREAD_SIGMAS * scenario.duration_cv
 
@@ -306,7 +369,7 @@ class AriaBackend:
         reduce_slots = _fair_share(cluster.total_reduce_capacity(), scenario.num_jobs)
         model = AriaModel(profile)
         bounds = model.job_bounds(map_slots, reduce_slots)
-        return PredictionResult(
+        result = PredictionResult(
             backend=self.name,
             scenario=scenario,
             total_seconds=bounds.average_seconds,
@@ -322,6 +385,7 @@ class AriaBackend:
                 "reduce_slots": reduce_slots,
             },
         )
+        return _inflate_result(result, factor)
 
     def predict_batch(self, scenarios: Sequence[Scenario]) -> list[PredictionResult]:
         """Vectorised sweep: the whole grid's bounds as stacked arrays.
@@ -332,6 +396,9 @@ class AriaBackend:
         (:func:`~repro.static_models.aria.batch_stage_bounds`), with the
         scalar path's exact arithmetic.
         """
+        factors = [
+            _failure_inflation_factor(scenario, self.name) for scenario in scenarios
+        ]
         count = len(scenarios)
         num_maps = np.empty(count)
         num_reduces = np.empty(count)
@@ -376,20 +443,23 @@ class AriaBackend:
             upper_total = upper_total + upper
         total = 0.5 * (lower_total + upper_total)
         return [
-            PredictionResult(
-                backend=self.name,
-                scenario=scenario,
-                total_seconds=float(total[index]),
-                phases={
-                    task_class.value: float(averages[task_class][index])
-                    for task_class in TaskClass.ordered()
-                },
-                metadata={
-                    "lower_seconds": float(lower_total[index]),
-                    "upper_seconds": float(upper_total[index]),
-                    "map_slots": int(map_slots[index]),
-                    "reduce_slots": int(reduce_slots[index]),
-                },
+            _inflate_result(
+                PredictionResult(
+                    backend=self.name,
+                    scenario=scenario,
+                    total_seconds=float(total[index]),
+                    phases={
+                        task_class.value: float(averages[task_class][index])
+                        for task_class in TaskClass.ordered()
+                    },
+                    metadata={
+                        "lower_seconds": float(lower_total[index]),
+                        "upper_seconds": float(upper_total[index]),
+                        "map_slots": int(map_slots[index]),
+                        "reduce_slots": int(reduce_slots[index]),
+                    },
+                ),
+                factors[index],
             )
             for index, scenario in enumerate(scenarios)
         ]
@@ -402,11 +472,12 @@ class HerodotouBackend:
     name: ClassVar[str]
 
     def predict(self, scenario: Scenario) -> PredictionResult:
+        factor = _failure_inflation_factor(scenario, self.name)
         profile = scenario.profile()
         environment = self._environment(scenario)
         dataflow = profile.herodotou_dataflow(scenario.job_configs()[0])
         estimate = HerodotouJobModel(environment).estimate(dataflow)
-        return PredictionResult(
+        result = PredictionResult(
             backend=self.name,
             scenario=scenario,
             total_seconds=estimate.total_seconds,
@@ -422,6 +493,7 @@ class HerodotouBackend:
                 "reduce_task_seconds": estimate.reduce_phases.total,
             },
         )
+        return _inflate_result(result, factor)
 
     @staticmethod
     def _environment(scenario: Scenario):
@@ -448,6 +520,9 @@ class HerodotouBackend:
         (:func:`~repro.static_models.herodotou.batch_estimate`), mirroring
         the scalar model's arithmetic.
         """
+        factors = [
+            _failure_inflation_factor(scenario, self.name) for scenario in scenarios
+        ]
         # Per-byte cost statistics, stacked straight off the dataclass so the
         # name list cannot drift from CostStatistics (and batch_estimate's
         # matching keyword raises immediately if it does).
@@ -497,21 +572,26 @@ class HerodotouBackend:
         reduce_stage = estimate.reduce_stage_seconds
         total = estimate.total_seconds
         return [
-            PredictionResult(
-                backend=self.name,
-                scenario=scenario,
-                total_seconds=float(total[index]),
-                phases={
-                    "map": float(map_stage[index]),
-                    "shuffle-sort": 0.0,
-                    "merge": float(reduce_stage[index]),
-                },
-                metadata={
-                    "map_waves": int(estimate.map_waves[index]),
-                    "reduce_waves": int(estimate.reduce_waves[index]),
-                    "map_task_seconds": float(estimate.map_task_seconds[index]),
-                    "reduce_task_seconds": float(estimate.reduce_task_seconds[index]),
-                },
+            _inflate_result(
+                PredictionResult(
+                    backend=self.name,
+                    scenario=scenario,
+                    total_seconds=float(total[index]),
+                    phases={
+                        "map": float(map_stage[index]),
+                        "shuffle-sort": 0.0,
+                        "merge": float(reduce_stage[index]),
+                    },
+                    metadata={
+                        "map_waves": int(estimate.map_waves[index]),
+                        "reduce_waves": int(estimate.reduce_waves[index]),
+                        "map_task_seconds": float(estimate.map_task_seconds[index]),
+                        "reduce_task_seconds": float(
+                            estimate.reduce_task_seconds[index]
+                        ),
+                    },
+                ),
+                factors[index],
             )
             for index, scenario in enumerate(scenarios)
         ]
@@ -548,6 +628,7 @@ class ViannaBackend:
         )
 
     def predict(self, scenario: Scenario) -> PredictionResult:
+        _decline_failures(scenario, self.name)
         model = ViannaHadoop1Model(
             scenario.model_input(),
             map_slots_per_node=self.map_slots_per_node,
@@ -565,6 +646,8 @@ class ViannaBackend:
         make a dense grid orders of magnitude cheaper than per-scenario
         ``predict`` calls.
         """
+        for scenario in scenarios:
+            _decline_failures(scenario, self.name)
         results: list[PredictionResult | None] = [None] * len(scenarios)
         seeds: dict[tuple, tuple] = {}
         for index in _grid_order(scenarios):
@@ -603,16 +686,33 @@ class SimulatorBackend:
     #: The discrete-event loop is pure Python: fan it out over processes.
     cpu_bound: ClassVar[bool] = True
 
+    #: Failure counters surfaced in result metadata (summed over repetitions).
+    _FAILURE_COUNTERS = (
+        "task_failures",
+        "task_reexecutions",
+        "node_failures",
+        "containers_killed",
+        "maps_invalidated",
+        "speculative_launched",
+        "speculative_wins",
+    )
+
     def predict(self, scenario: Scenario) -> PredictionResult:
         workload = scenario.workload_spec()
         cluster = scenario.cluster_config()
         scheduler = scenario.scheduler_config()
         simulator_profile = workload.profile.simulator_profile()
+        failures = scenario.failures
+        inject = failures is not None and not failures.is_noop
         means: list[float] = []
         first_result = None
+        failure_counts = dict.fromkeys(self._FAILURE_COUNTERS, 0)
         for repetition in range(scenario.repetitions):
             simulator = ClusterSimulator(
-                cluster, scheduler, seed=scenario.seed + repetition
+                cluster,
+                scheduler,
+                seed=scenario.seed + repetition,
+                failures=failures,
             )
             for job_config in workload.job_configs():
                 simulator.submit_job(job_config, simulator_profile)
@@ -620,7 +720,18 @@ class SimulatorBackend:
             if first_result is None:
                 first_result = result
             means.append(result.mean_response_time)
+            if inject:
+                for counter in self._FAILURE_COUNTERS:
+                    failure_counts[counter] += getattr(result.metrics, counter)
         traces = first_result.job_traces
+        metadata = {
+            "repetitions": scenario.repetitions,
+            "repetition_means": tuple(means),
+            "makespan": first_result.makespan,
+            "data_local_fraction": first_result.metrics.data_local_fraction,
+        }
+        if inject:
+            metadata["failures"] = failure_counts
         return PredictionResult(
             backend=self.name,
             scenario=scenario,
@@ -632,12 +743,7 @@ class SimulatorBackend:
                 ),
                 "merge": _mean(trace.average_merge_duration() for trace in traces),
             },
-            metadata={
-                "repetitions": scenario.repetitions,
-                "repetition_means": tuple(means),
-                "makespan": first_result.makespan,
-                "data_local_fraction": first_result.metrics.data_local_fraction,
-            },
+            metadata=metadata,
         )
 
 

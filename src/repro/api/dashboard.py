@@ -40,6 +40,7 @@ from ..analysis.accuracy import (
     BackendAccuracy,
     compute_accuracy,
 )
+from ..config import FailureSpec
 from ..exceptions import ValidationError
 from ..experiments.figures import FIGURE_DEFINITIONS, figure_suite
 from ..experiments.runner import run_suite_grid
@@ -109,19 +110,62 @@ def paper_grid(repetitions: int = 3, base_seed: int = 1234) -> ScenarioSuite:
     )
 
 
+def failure_grid(repetitions: int = 1, base_seed: int = 1234) -> ScenarioSuite:
+    """A failure-injection grid spanning every degradation tier.
+
+    Built on the ``failure-recovery`` workload with ``duration_cv=0`` (the
+    clean run is deterministic, failures strictly additive).  The clean point
+    plus task-failure and straggler specs are answered by every backend (the
+    analytic ones through expected-value inflation); the speculative and
+    node-failure points only the simulator can model — backends without the
+    capability decline them, so run this grid with ``on_error="record"``.
+    """
+    base = Scenario(
+        workload="failure-recovery",
+        input_size_bytes=256 * 1024 * 1024,
+        num_nodes=3,
+        num_reduces=2,
+        duration_cv=0.0,
+        repetitions=repetitions,
+        seed=base_seed,
+    )
+    scenarios = (
+        base,
+        base.with_updates(failures=FailureSpec(task_failure_rate=0.1)),
+        base.with_updates(
+            failures=FailureSpec(straggler_fraction=0.2, straggler_slowdown=2.5)
+        ),
+        base.with_updates(
+            failures=FailureSpec(
+                straggler_fraction=0.3, straggler_slowdown=3.0, speculative=True
+            )
+        ),
+        base.with_updates(failures=FailureSpec(node_failure_times=(30.0,))),
+    )
+    return ScenarioSuite(
+        name="failure",
+        scenarios=scenarios,
+        description=(
+            "Failure-injection grid: clean, task failures, stragglers, "
+            "speculation, node loss (failure-recovery workload, cv=0)"
+        ),
+    )
+
+
 #: Named dashboard grids: ``name -> builder(repetitions, base_seed)``.  Each
 #: builder's own ``repetitions`` default is the grid's default (smoke stays
 #: single-repetition fast, paper keeps the figure runner's median-of-3).
 DASHBOARD_GRIDS = {
     "smoke": smoke_grid,
     "paper": paper_grid,
+    "failure": failure_grid,
 }
 
 
 def dashboard_grid(
     grid: str, repetitions: int | None = None, base_seed: int = 1234
 ) -> ScenarioSuite:
-    """Build a named dashboard grid (``smoke`` or ``paper``)."""
+    """Build a named dashboard grid (``smoke``, ``paper``, or ``failure``)."""
     try:
         builder = DASHBOARD_GRIDS[grid]
     except KeyError as exc:

@@ -22,7 +22,15 @@ import json
 from collections.abc import Callable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
 
-from ..config import ClusterConfig, ContainerSpec, JobConfig, NodeSpec, SchedulerConfig
+from ..config import (
+    ClusterConfig,
+    ContainerSpec,
+    FailureSpec,
+    JobConfig,
+    NodeSpec,
+    SchedulerConfig,
+)
+from ..exceptions import ConfigurationError
 from ..core.parameters import ModelInput
 from ..exceptions import ValidationError
 from ..units import GiB, MiB, parse_size
@@ -30,6 +38,7 @@ from ..workloads.generators import WorkloadSpec, paper_cluster, paper_scheduler
 from ..workloads.grep import grep_profile
 from ..workloads.iterative import iterative_profile
 from ..workloads.profiles import ApplicationProfile, model_input_from_profile
+from ..workloads.recovery import recovery_profile
 from ..workloads.terasort import terasort_profile
 from ..workloads.wordcount import wordcount_profile
 
@@ -66,9 +75,10 @@ def register_workload_profile(
     WORKLOAD_PROFILES[name] = factory
 
 
-# The iterative/ML-style profile arrives through the public registration path,
-# exactly as downstream users register their own profiles.
+# The iterative/ML-style and failure-recovery profiles arrive through the
+# public registration path, exactly as downstream users register their own.
 register_workload_profile("iterative-ml", iterative_profile)
+register_workload_profile("failure-recovery", recovery_profile)
 
 
 # -- nested config (de)serialisation ------------------------------------------
@@ -112,6 +122,13 @@ def _scheduler_from_dict(data: Mapping) -> SchedulerConfig:
         raise ValidationError(f"invalid scheduler specification: {exc}") from exc
 
 
+def _failures_from_dict(data: Mapping) -> FailureSpec:
+    try:
+        return FailureSpec.from_dict(dict(data))
+    except (TypeError, ValueError, ConfigurationError) as exc:
+        raise ValidationError(f"invalid failure specification: {exc}") from exc
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One fully specified prediction scenario (cluster + workload + scheduler + seed)."""
@@ -132,6 +149,10 @@ class Scenario:
     cluster: ClusterConfig | None = None
     #: Explicit scheduler; ``None`` means the paper's Capacity configuration.
     scheduler: SchedulerConfig | None = None
+    #: Failure injection; ``None`` (or a no-op spec) means failure-free.
+    #: Omitted from :meth:`to_dict` when ``None`` so the cache keys of every
+    #: pre-existing scenario are preserved.
+    failures: FailureSpec | None = None
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOAD_PROFILES:
@@ -228,6 +249,8 @@ class Scenario:
             data["cluster"] = _cluster_to_dict(self.cluster)
         if self.scheduler is not None:
             data["scheduler"] = dataclasses.asdict(self.scheduler)
+        if self.failures is not None:
+            data["failures"] = self.failures.to_dict()
         return data
 
     @classmethod
@@ -249,6 +272,10 @@ class Scenario:
             payload["cluster"] = _cluster_from_dict(payload["cluster"])
         if payload.get("scheduler") is not None:
             payload["scheduler"] = _scheduler_from_dict(payload["scheduler"])
+        if payload.get("failures") is not None and not isinstance(
+            payload["failures"], FailureSpec
+        ):
+            payload["failures"] = _failures_from_dict(payload["failures"])
         try:
             return cls(**payload)
         except TypeError as exc:
@@ -274,10 +301,25 @@ class Scenario:
     def describe(self) -> str:
         """Short human-readable label for tables and logs."""
         gib = self.input_size_bytes / GiB
-        return (
+        label = (
             f"{self.workload} {gib:g}GiB x{self.num_jobs} "
             f"on {self.num_nodes} nodes (r={self.num_reduces})"
         )
+        if self.failures is not None and not self.failures.is_noop:
+            parts = []
+            if self.failures.task_failure_rate > 0:
+                parts.append(f"p={self.failures.task_failure_rate:g}")
+            if self.failures.straggler_fraction > 0:
+                parts.append(
+                    f"strag={self.failures.straggler_fraction:g}"
+                    f"x{self.failures.straggler_slowdown:g}"
+                )
+            if self.failures.node_failure_times:
+                parts.append(f"nodes={len(self.failures.node_failure_times)}")
+            if self.failures.speculative:
+                parts.append("spec")
+            label += f" [faults: {', '.join(parts)}]"
+        return label
 
 
 @dataclass(frozen=True)

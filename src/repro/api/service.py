@@ -49,6 +49,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields
 
 from ..exceptions import (
+    BackendCapabilityError,
     BackendError,
     CircuitOpenError,
     EvaluationTimeoutError,
@@ -153,6 +154,11 @@ class ServiceStats:
     retries: int = 0
     #: Points whose evaluation failed terminally (retries exhausted or fatal).
     failures: int = 0
+    #: Points a backend declined as outside its capability (e.g. an analytic
+    #: model asked for a failure spec it cannot correct for).  Declines are
+    #: expected graceful degradation, not errors: they never trip breakers
+    #: and are counted here instead of :attr:`failures`.
+    declined: int = 0
     #: Evaluations that exceeded the configured per-evaluation deadline.
     timeouts: int = 0
     #: Batch dispatches that failed and fell back to the per-scenario path.
@@ -321,6 +327,7 @@ class PredictionService:
         self._batch_points = 0
         self._retries = 0
         self._failures = 0
+        self._declined = 0
         self._timeouts = 0
         self._batch_fallbacks = 0
         self._pool_rebuilds = 0
@@ -380,6 +387,7 @@ class PredictionService:
                 batch_points=self._batch_points,
                 retries=self._retries,
                 failures=self._failures,
+                declined=self._declined,
                 timeouts=self._timeouts,
                 batch_fallbacks=self._batch_fallbacks,
                 pool_rebuilds=self._pool_rebuilds,
@@ -596,6 +604,12 @@ class PredictionService:
                     breaker.allow()
                 result = self._attempt(scenario, backend, holder, deadline)
             except Exception as exc:
+                if isinstance(exc, BackendCapabilityError):
+                    # A declined capability is the backend working as
+                    # specified, not failing: breaker-neutral, counted apart.
+                    with self._lock:
+                        self._declined += 1
+                    raise
                 if breaker is not None and not isinstance(exc, CircuitOpenError):
                     breaker.record_failure()
                 if attempt < policy.max_attempts and policy.is_retryable(exc):

@@ -21,6 +21,14 @@ main entry points of the library through the unified prediction API:
   evicts and compacts records; ``store info`` reports contents and leases);
 * ``simulate`` — run the YARN simulator and print per-job traces.
 
+Scenario-taking commands (``predict`` / ``compare`` / ``simulate``) accept
+deterministic failure-injection knobs — ``--failure-rate``,
+``--straggler-frac`` / ``--straggler-slowdown``, ``--node-failure-time``
+(repeatable), ``--speculative``, ``--max-attempts`` — that attach a
+:class:`~repro.config.FailureSpec` to the scenario.  The simulator models
+the faults mechanistically; analytic backends either apply an
+expected-value inflation or decline the point as a structured failure.
+
 ``predict`` / ``compare`` / ``sweep`` / ``figure`` accept ``--store PATH``
 (persist results across runs through a result store; ``--store-format
 json|sqlite`` selects the engine for a new store), ``--execution
@@ -75,8 +83,9 @@ from .api.dashboard import (
     run_dashboard,
     write_artifacts,
 )
+from .config import FailureSpec
 from .core.estimators import EstimatorKind
-from .exceptions import ReproError, ValidationError
+from .exceptions import BackendCapabilityError, ReproError, ValidationError
 from .experiments.figures import FIGURE_DEFINITIONS, run_figure
 from .experiments.runner import POINT_BACKENDS
 from .hadoop.simulator import ClusterSimulator
@@ -108,6 +117,58 @@ def _add_scenario_arguments(
         parser.add_argument(
             "--repetitions", type=int, default=3, help="simulator repetitions per point"
         )
+    failures = parser.add_argument_group(
+        "failure injection",
+        "deterministic faults for the simulator backend; analytic backends "
+        "apply an expected-value correction where they can and decline "
+        "(structured failure, not a crash) where they cannot",
+    )
+    failures.add_argument(
+        "--failure-rate",
+        dest="failure_rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-attempt task failure probability in [0, 1)",
+    )
+    failures.add_argument(
+        "--straggler-frac",
+        dest="straggler_frac",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="fraction of task attempts slowed down as stragglers",
+    )
+    failures.add_argument(
+        "--straggler-slowdown",
+        dest="straggler_slowdown",
+        type=float,
+        default=2.5,
+        metavar="X",
+        help="slowdown factor applied to straggler attempts (>= 1)",
+    )
+    failures.add_argument(
+        "--node-failure-time",
+        dest="node_failure_times",
+        type=float,
+        action="append",
+        default=None,
+        metavar="SECONDS",
+        help="kill one node at this simulation time (repeatable)",
+    )
+    failures.add_argument(
+        "--speculative",
+        action="store_true",
+        help="launch speculative backup attempts for detected stragglers",
+    )
+    failures.add_argument(
+        "--max-attempts",
+        dest="max_attempts",
+        type=int,
+        default=4,
+        metavar="N",
+        help="attempts per task before the last one is forced to succeed",
+    )
 
 
 def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
@@ -200,6 +261,7 @@ def _print_resilience_summary(service: PredictionService) -> None:
     noteworthy = (
         stats.retries
         or stats.failures
+        or stats.declined
         or stats.timeouts
         or stats.batch_fallbacks
         or stats.pool_rebuilds
@@ -210,11 +272,30 @@ def _print_resilience_summary(service: PredictionService) -> None:
         return
     print(
         f"resilience: {stats.retries} retries, {stats.failures} failed points, "
+        f"{stats.declined} declined, "
         f"{stats.timeouts} timeouts, {stats.batch_fallbacks} batch fallbacks, "
         f"{stats.pool_rebuilds} pool rebuilds, {stats.pool_fallbacks} pool "
         f"fallbacks, {stats.breaker_trips} breaker trips",
         file=sys.stderr,
     )
+
+
+def _failures_from_args(args: argparse.Namespace) -> FailureSpec | None:
+    """The CLI's failure spec, or ``None`` when every knob is at rest.
+
+    Returning ``None`` for the failure-free default keeps scenario cache
+    keys (and hence stored results) identical to runs that predate the
+    failure knobs.
+    """
+    spec = FailureSpec(
+        task_failure_rate=getattr(args, "failure_rate", 0.0),
+        max_attempts=getattr(args, "max_attempts", 4),
+        straggler_fraction=getattr(args, "straggler_frac", 0.0),
+        straggler_slowdown=getattr(args, "straggler_slowdown", 2.5),
+        node_failure_times=tuple(getattr(args, "node_failure_times", None) or ()),
+        speculative=getattr(args, "speculative", False),
+    )
+    return None if spec.is_noop else spec
 
 
 def _scenario_from_args(args: argparse.Namespace) -> Scenario:
@@ -227,6 +308,7 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
         num_reduces=args.reduces,
         seed=args.seed,
         repetitions=getattr(args, "repetitions", 1),
+        failures=_failures_from_args(args),
     )
 
 
@@ -281,7 +363,27 @@ def _command_compare(args: argparse.Namespace) -> int:
     scenario = _scenario_from_args(args)
     backends = args.backend or backend_names()
     service = _service_from_args(args, backends)
-    comparison = service.compare(scenario, backends, baseline=args.baseline)
+    names = list(backends)
+    if args.baseline not in names:
+        names = [args.baseline, *names]
+    # Under a failure spec, backends that cannot model it decline rather
+    # than crash or answer wrongly; render their rows as such instead of
+    # aborting the whole comparison.  A declining *baseline* is still fatal
+    # (there is nothing to compare against).
+    declined: dict[str, str] = {}
+    if scenario.failures is not None:
+        kept = []
+        for name in names:
+            try:
+                service.evaluate(scenario, name)  # cached for compare below
+            except BackendCapabilityError as exc:
+                if name == args.baseline:
+                    raise
+                declined[name] = str(exc)
+            else:
+                kept.append(name)
+        names = kept
+    comparison = service.compare(scenario, names, baseline=args.baseline)
     baseline = comparison.baseline_result()
     errors = comparison.relative_errors()
     print(f"scenario: {scenario.describe()}")
@@ -290,6 +392,10 @@ def _command_compare(args: argparse.Namespace) -> int:
     for name in sorted(errors):
         total = comparison.results[name].total_seconds
         print(f"{name:<14} {total:>10.2f} {100 * errors[name]:>+11.1f}%")
+    for name in sorted(declined):
+        print(f"{name:<14} {'declined':>10} {'—':>12}")
+    for name in sorted(declined):
+        print(f"note: {name} declined: {declined[name]}", file=sys.stderr)
     _print_store_summary(args, service)
     return 0
 
@@ -391,6 +497,12 @@ def _command_serve(args: argparse.Namespace) -> int:
 def _command_dashboard(args: argparse.Namespace) -> int:
     backends = args.backend or list(DASHBOARD_BACKENDS)
     service = _service_from_args(args, backends, max_workers=args.max_workers)
+    on_error = args.on_error
+    if args.grid == "failure" and on_error == "raise":
+        # Capability declines are expected on the failure grid (only the
+        # simulator models every spec); record them as structured rows so
+        # the sweep completes instead of aborting on the first decline.
+        on_error = "record"
     run = run_dashboard(
         args.grid,
         backends=backends,
@@ -398,7 +510,7 @@ def _command_dashboard(args: argparse.Namespace) -> int:
         repetitions=args.repetitions,
         base_seed=args.seed,
         evaluate=not args.no_evaluate,
-        on_error=args.on_error,
+        on_error=on_error,
     )
     report = run.report
     if run.outcome is not None:
@@ -484,7 +596,10 @@ def _command_simulate(args: argparse.Namespace) -> int:
     scenario = _scenario_from_args(args)
     workload = scenario.workload_spec()
     simulator = ClusterSimulator(
-        scenario.cluster_config(), scenario.scheduler_config(), seed=scenario.seed
+        scenario.cluster_config(),
+        scenario.scheduler_config(),
+        seed=scenario.seed,
+        failures=scenario.failures,
     )
     for job_config in workload.job_configs():
         simulator.submit_job(job_config, workload.profile.simulator_profile())
@@ -498,6 +613,17 @@ def _command_simulate(args: argparse.Namespace) -> int:
     print(f"mean job response time: {result.mean_response_time:.1f}s")
     print(f"makespan: {result.makespan:.1f}s")
     print(f"data-local map fraction: {result.metrics.data_local_fraction:.2f}")
+    if scenario.failures is not None:
+        metrics = result.metrics
+        print(
+            f"failures: {metrics.task_failures} task failures, "
+            f"{metrics.task_reexecutions} re-executions, "
+            f"{metrics.node_failures} node failures "
+            f"({metrics.containers_killed} containers killed, "
+            f"{metrics.maps_invalidated} map outputs lost), "
+            f"{metrics.speculative_launched} speculative launched "
+            f"({metrics.speculative_wins} won)"
+        )
     return 0
 
 

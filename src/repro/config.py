@@ -11,12 +11,15 @@ Three configuration layers exist:
   sizing, from which the per-node container caps of Table 2
   (``MaxMapPerNode`` / ``MaxReducePerNode``) are derived;
 * :class:`SchedulerConfig` — Capacity-scheduler relevant knobs (slow start
-  threshold, locality, reduce ramp-up).
+  threshold, locality, reduce ramp-up);
+* :class:`FailureSpec` — deterministic failure injection for the simulator
+  (stragglers, task-attempt failures with re-execution, whole-node loss,
+  speculative execution).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from .exceptions import ConfigurationError
 from .units import GiB, MiB
@@ -196,6 +199,80 @@ class SchedulerConfig:
             raise ConfigurationError("heartbeat_interval must be positive")
         if self.map_priority <= 0 or self.reduce_priority <= 0:
             raise ConfigurationError("priorities must be positive")
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Deterministic failure model for the YARN simulator.
+
+    All randomness is derived from seeded hash draws keyed on
+    ``(seed, kind, task_id, attempt)``, so an identical
+    ``(Scenario, FailureSpec, seed)`` triple reproduces the exact same
+    failure schedule regardless of event interleaving.  The default spec is
+    a no-op: a ``FailureSpec()`` (or ``None``) leaves simulator traces
+    bit-identical to a failure-free run.
+    """
+
+    #: Probability that any given task attempt fails partway through.
+    task_failure_rate: float = 0.0
+    #: Maximum attempts per task; the last allowed attempt always succeeds,
+    #: mirroring ``mapreduce.map.maxattempts`` semantics with a bounded tail.
+    max_attempts: int = 4
+    #: Fraction of task attempts that run as stragglers.
+    straggler_fraction: float = 0.0
+    #: Runtime multiplier applied to straggler attempts (>= 1).
+    straggler_slowdown: float = 2.5
+    #: Simulation times (seconds) at which a whole node fails.
+    node_failure_times: tuple[float, ...] = ()
+    #: Launch a backup attempt for stragglers; first finisher wins.
+    speculative: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.task_failure_rate < 1.0:
+            raise ConfigurationError("task_failure_rate must be in [0, 1)")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if not 0.0 <= self.straggler_fraction <= 1.0:
+            raise ConfigurationError("straggler_fraction must be in [0, 1]")
+        if self.straggler_slowdown < 1.0:
+            raise ConfigurationError("straggler_slowdown must be at least 1.0")
+        times = tuple(sorted(float(t) for t in self.node_failure_times))
+        if any(t < 0 for t in times):
+            raise ConfigurationError("node_failure_times must be non-negative")
+        object.__setattr__(self, "node_failure_times", times)
+
+    @property
+    def is_noop(self) -> bool:
+        """True when this spec injects no failures at all."""
+        return (
+            self.task_failure_rate == 0.0
+            and self.straggler_fraction == 0.0
+            and not self.node_failure_times
+            and not self.speculative
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "task_failure_rate": self.task_failure_rate,
+            "max_attempts": self.max_attempts,
+            "straggler_fraction": self.straggler_fraction,
+            "straggler_slowdown": self.straggler_slowdown,
+            "node_failure_times": list(self.node_failure_times),
+            "speculative": self.speculative,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FailureSpec":
+        """Rebuild a spec from :meth:`to_dict` output (strict on keys)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(f"unknown FailureSpec fields: {sorted(unknown)}")
+        data = dict(payload)
+        if "node_failure_times" in data:
+            data["node_failure_times"] = tuple(data["node_failure_times"])
+        return cls(**data)
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,16 @@ class BackendError(ReproError):
     """Raised when a prediction backend is unknown or cannot run a scenario."""
 
 
+class BackendCapabilityError(BackendError):
+    """A backend declined a scenario it cannot model faithfully.
+
+    Raised by analytic backends for failure specs they have no correction
+    for (e.g. mid-run node loss).  Deliberately not transient — retrying
+    cannot help — and breaker-neutral: a capability refusal is a correct
+    answer, not a backend fault.
+    """
+
+
 class StoreError(ReproError):
     """Raised when a persistent result store cannot be opened or written."""
 

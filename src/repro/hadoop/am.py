@@ -271,6 +271,45 @@ class MRAppMaster:
         self._held[container.container_id] = task.task_id
         return task
 
+    # -- failure-model hooks -----------------------------------------------------
+
+    def reschedule_task(self, task: TaskAttempt, time: float) -> None:
+        """Return a failed or killed attempt to the container-request pipeline.
+
+        The attempt is reset to PENDING, marked scheduled again, and re-enters
+        the scheduled sets, so the new attempt flows through the exact same
+        RM/NM grant-and-launch path as the first one.
+        """
+        if task.container_id is not None:
+            self._held.pop(task.container_id, None)
+        task.reset_for_reexecution()
+        task.mark_scheduled(time)
+        if task.task_type is TaskType.MAP:
+            self._scheduled_maps[task.task_id] = task
+        else:
+            self._scheduled_reduces[task.task_id] = task
+        self._asks_cache = None
+
+    def schedule_speculative(self, clone: TaskAttempt, time: float) -> None:
+        """Request a container for a backup attempt of a straggling task."""
+        self._tasks[clone.task_id] = clone
+        clone.mark_scheduled(time)
+        if clone.task_type is TaskType.MAP:
+            self._scheduled_maps[clone.task_id] = clone
+        else:
+            self._scheduled_reduces[clone.task_id] = clone
+        self._asks_cache = None
+
+    def on_task_killed(self, task: TaskAttempt) -> None:
+        """Drop all AM bookkeeping for a killed attempt (speculative loser)."""
+        if task.container_id is not None:
+            self._held.pop(task.container_id, None)
+        if task.task_type is TaskType.MAP:
+            self._scheduled_maps.pop(task.task_id, None)
+        else:
+            self._scheduled_reduces.pop(task.task_id, None)
+        self._asks_cache = None
+
     def _duration_factor(self) -> float:
         """Log-normal multiplicative jitter applied to a task's work amounts.
 

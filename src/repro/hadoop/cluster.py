@@ -25,6 +25,8 @@ class Node:
     capacity: Resource
     #: Resources currently granted to running containers.
     allocated: Resource = field(default_factory=Resource.zero)
+    #: False once the node has failed; dead nodes receive no new containers.
+    alive: bool = True
 
     @property
     def name(self) -> str:
@@ -120,7 +122,9 @@ class Cluster:
         of that size are considered; ``None`` is returned when no node fits.
         """
         candidates = [
-            node for node in self.nodes if fit is None or node.can_fit(fit)
+            node
+            for node in self.nodes
+            if node.alive and (fit is None or node.can_fit(fit))
         ]
         if not candidates:
             return None

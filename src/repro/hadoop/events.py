@@ -23,6 +23,7 @@ class EventKind(enum.Enum):
     JOB_SUBMIT = "job-submit"
     AM_READY = "am-ready"
     TASK_LAUNCH = "task-launch"
+    NODE_FAILURE = "node-failure"
 
 
 @dataclass(order=True)

@@ -1,0 +1,97 @@
+"""Deterministic failure draws for the YARN simulator.
+
+The simulator injects failures described by a frozen
+:class:`~repro.config.FailureSpec`.  Every stochastic decision — is this
+attempt a straggler, does it fail, where does it fail, which node dies —
+is a pure function of ``(seed, kind, key, index)`` hashed through SHA-256,
+the same idiom :class:`repro.testing.faults.FaultInjector` uses at the
+harness layer.  This makes the failure schedule independent of event
+interleaving and completely separate from the AM's numpy RNG stream, which
+is what guarantees failure-free runs stay bit-identical to today's traces.
+
+``MEAN_FAILURE_POINT`` is shared with the analytic backends' expected-value
+inflation correction: a failed attempt wastes on average half its work, so
+a failure rate ``p`` inflates expected task work by ``1 + p/(1-p) * 0.5``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..config import FailureSpec
+
+#: Expected fraction of an attempt's work wasted when it fails (uniform draw).
+MEAN_FAILURE_POINT = 0.5
+
+#: Truncation bounds for the failure-point draw: keeps failed attempts from
+#: degenerating into zero-length or indistinguishable-from-success runs
+#: while preserving the uniform draw's mean of 0.5 by symmetry.
+_FAILURE_POINT_LOW = 0.05
+_FAILURE_POINT_HIGH = 0.95
+
+
+class FailureModel:
+    """Seeded, interleaving-independent draws for one simulation run."""
+
+    def __init__(self, spec: FailureSpec, seed: int) -> None:
+        self.spec = spec
+        self._seed = int(seed)
+
+    def _draw(self, kind: str, key: str, index: int) -> float:
+        """Uniform [0, 1) draw keyed on (seed, kind, key, index)."""
+        token = f"{self._seed}:{kind}:{key}:{index}".encode()
+        digest = hashlib.sha256(token).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def straggler_factor(self, task_id: str, attempt: int) -> float:
+        """Runtime multiplier for this attempt (1.0 = not a straggler).
+
+        Keyed per *attempt*, so a re-execution or speculative backup of a
+        straggler draws fresh — which is exactly what lets speculation win.
+        """
+        if self.spec.straggler_fraction <= 0.0:
+            return 1.0
+        if self._draw("straggler", task_id, attempt) < self.spec.straggler_fraction:
+            return self.spec.straggler_slowdown
+        return 1.0
+
+    def attempt_fails(self, task_id: str, attempt: int) -> bool:
+        """Whether this attempt fails partway through.
+
+        The last allowed attempt (``attempt >= max_attempts``) always
+        succeeds, bounding re-execution and guaranteeing job completion.
+        """
+        if self.spec.task_failure_rate <= 0.0:
+            return False
+        if attempt >= self.spec.max_attempts:
+            return False
+        return self._draw("fail", task_id, attempt) < self.spec.task_failure_rate
+
+    def failure_point(self, task_id: str, attempt: int) -> float:
+        """Fraction of the attempt's work done before it fails (in (0, 1))."""
+        u = self._draw("point", task_id, attempt)
+        span = _FAILURE_POINT_HIGH - _FAILURE_POINT_LOW
+        return _FAILURE_POINT_LOW + u * span
+
+    def pick_victim(self, eligible: list[int], occurrence: int) -> int:
+        """Deterministically choose the node id that dies at this event."""
+        u = self._draw("node", "victim", occurrence)
+        return eligible[min(int(u * len(eligible)), len(eligible) - 1)]
+
+
+def expected_inflation(spec: FailureSpec) -> float:
+    """Expected-value runtime inflation for straggler + re-execution effects.
+
+    ``(1 + f*(s-1))`` is the expected per-task slowdown from a straggler
+    fraction ``f`` at slowdown ``s``; ``1 + p/(1-p) * MEAN_FAILURE_POINT``
+    is the expected extra work from failed attempts at rate ``p`` (each
+    failure wastes on average half an attempt, and the number of failures
+    before success is geometric).  Both factors are >= 1, which gives the
+    analytic backends' corrections monotonicity by construction.
+    """
+    f = spec.straggler_fraction
+    s = spec.straggler_slowdown
+    p = spec.task_failure_rate
+    straggler = 1.0 + f * (s - 1.0)
+    rework = 1.0 + (p / (1.0 - p)) * MEAN_FAILURE_POINT
+    return straggler * rework

@@ -213,6 +213,50 @@ class MapReduceJob:
         """Count a completed task (simulator hook keeping :attr:`is_complete` O(1))."""
         self._completed_task_count += 1
 
+    # -- failure-model hooks -----------------------------------------------------
+
+    def invalidate_map_completion(self, task: TaskAttempt) -> None:
+        """Exact inverse of a recorded map completion (node-failure output loss).
+
+        Called when the node holding ``task``'s map output dies: the bytes
+        become unfetchable, so the incremental shuffle-availability counters
+        and the completion counters are decremented by exactly the amounts
+        :meth:`record_map_completion` / :meth:`record_task_completion` added.
+        Running reducers that already counted those bytes simply stall until
+        the re-executed map completes again (the shuffle layer clamps
+        negative availability to a stall).
+        """
+        index = self._map_index[task.task_id]
+        output = self.map_output_bytes(self.splits[index])
+        self._completed_output_total -= output
+        node = task.assigned_node if task.assigned_node is not None else -1
+        self._completed_output_by_node[node] = (
+            self._completed_output_by_node.get(node, 0.0) - output
+        )
+        self._completed_map_count -= 1
+        self._completed_task_count -= 1
+
+    def register_speculative_attempt(
+        self, clone: TaskAttempt, original: TaskAttempt
+    ) -> None:
+        """Make a backup attempt addressable by id (and by split, for maps)."""
+        self._task_by_id[clone.task_id] = clone
+        if clone.task_type is TaskType.MAP:
+            self._map_index[clone.task_id] = self._map_index[original.task_id]
+
+    def adopt_speculative_winner(
+        self, clone: TaskAttempt, original: TaskAttempt
+    ) -> None:
+        """Replace ``original`` with its winning backup in the task lists.
+
+        After this, every aggregate view (trace building, subtask durations,
+        shuffle accounting) sees the attempt that actually finished.
+        """
+        if clone.task_type is TaskType.MAP:
+            self.map_tasks[self._map_index[original.task_id]] = clone
+        else:
+            self.reduce_tasks[self.reduce_tasks.index(original)] = clone
+
     @property
     def is_complete(self) -> bool:
         """Whether every task of the job has completed."""

@@ -31,6 +31,14 @@ class SimulationMetrics:
     makespan: float = 0.0
     #: Number of scheduling (allocation) passes performed.
     allocation_passes: int = 0
+    #: Failure-injection counters (all zero on a failure-free run).
+    task_failures: int = 0
+    task_reexecutions: int = 0
+    node_failures: int = 0
+    containers_killed: int = 0
+    maps_invalidated: int = 0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
 
     def record_grant(self, container: Container) -> None:
         """Count a granted container by its priority class."""

@@ -58,9 +58,11 @@ class Scheduler(ABC):
         """
         assignments: list[Assignment] = []
         # Track capacity tentatively consumed by this pass without mutating
-        # the real nodes; the ResourceManager commits the assignments.
+        # the real nodes; the ResourceManager commits the assignments.  Dead
+        # nodes are excluded here, which is what keeps every placement path
+        # (preferred and scan) away from failed hardware.
         tentative: dict[int, Resource] = {
-            node.node_id: node.available for node in cluster
+            node.node_id: node.available for node in cluster if node.alive
         }
         # Free capacity only shrinks within a pass, so once a container shape
         # fails to fit on every node, every later ask of the same shape fails
@@ -105,9 +107,9 @@ class Scheduler(ABC):
         rule of paper Section 4.2.2.  Occupancy is computed against the
         capacity still free in *this* scheduling pass (``tentative``).
         """
-        num_nodes = len(cluster)
         for node_id in preferred_nodes:
-            if 0 <= node_id < num_nodes and tentative[node_id].covers(resource):
+            free = tentative.get(node_id)
+            if free is not None and free.covers(resource):
                 return node_id
 
         # Single fused scan: find the fitting node with the lowest occupancy
@@ -115,8 +117,8 @@ class Scheduler(ABC):
         best_id: int | None = None
         best_occupancy = 0.0
         for node in cluster:
-            free = tentative[node.node_id]
-            if not free.covers(resource):
+            free = tentative.get(node.node_id)
+            if free is None or not free.covers(resource):
                 continue
             capacity_bytes = node.capacity.memory_bytes
             occupancy = (

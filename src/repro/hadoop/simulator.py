@@ -20,13 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..config import ClusterConfig, JobConfig, SchedulerConfig
+from ..config import ClusterConfig, FailureSpec, JobConfig, SchedulerConfig
 from ..exceptions import SimulationError
 from ..randomness import make_rng, spawn
 from .am import MRAppMaster
 from .cluster import Cluster
 from .engine import INFINITY, ExecutionEngine
 from .events import EventKind, EventQueue
+from .failures import FailureModel
 from .hdfs import HdfsNamespace
 from .job import JobResourceProfile, MapReduceJob
 from .metrics import SimulationMetrics
@@ -35,7 +36,7 @@ from .resources import Container, Priority, Resource
 from .rm import ResourceManager
 from .scheduler import create_scheduler
 from .shuffle import ShuffleTracker
-from .tasks import TaskAttempt, TaskType
+from .tasks import TaskAttempt, TaskState, TaskType
 from .trace import JobTrace, build_job_trace
 
 #: Safety bound on the number of event-loop iterations.
@@ -82,6 +83,16 @@ class _JobContext:
     containers: dict[str, Container] = field(default_factory=dict)
 
 
+@dataclass
+class _SpeculationPair:
+    """A straggling attempt and its speculative backup; first finisher wins."""
+
+    original: TaskAttempt
+    clone: TaskAttempt
+    resolved: bool = False
+    winner: TaskAttempt | None = None
+
+
 class ClusterSimulator:
     """Discrete-event simulator of a YARN cluster running MapReduce jobs."""
 
@@ -90,6 +101,7 @@ class ClusterSimulator:
         cluster_config: ClusterConfig,
         scheduler_config: SchedulerConfig | None = None,
         seed: int | None = None,
+        failures: FailureSpec | None = None,
     ) -> None:
         self.cluster_config = cluster_config
         self.scheduler_config = scheduler_config or SchedulerConfig()
@@ -117,6 +129,25 @@ class ClusterSimulator:
         #: unchanged (capacity, requests) state and grants nothing on a rerun,
         #: so skipping redundant passes is behaviour-preserving.
         self._needs_allocation = True
+        #: Failure injection.  A no-op spec leaves the model unset so the
+        #: failure-free path performs zero extra work (and zero extra RNG
+        #: draws), keeping traces bit-identical to a run without a spec.
+        self.failure_spec = failures
+        self._failure_model: FailureModel | None = None
+        if failures is not None and not failures.is_noop:
+            self._failure_model = FailureModel(failures, seed=seed or 0)
+            for occurrence, time in enumerate(failures.node_failure_times):
+                self._events.push(time, EventKind.NODE_FAILURE, occurrence)
+        #: Per-task launch counter (attempt numbers for the failure draws).
+        self._attempt_numbers: dict[str, int] = {}
+        #: Task ids whose *current* attempt is destined to fail.
+        self._doomed: set[str] = set()
+        #: Speculation state, keyed by both the original's and the clone's id.
+        self._spec_pairs: dict[str, _SpeculationPair] = {}
+        #: Pending TASK_LAUNCH events to ignore (their container was killed
+        #: before launch); a count per task id so a later re-grant's launch
+        #: event is not swallowed by mistake.
+        self._skip_launches: dict[str, int] = {}
 
     # -- job submission ------------------------------------------------------------
 
@@ -187,7 +218,11 @@ class ClusterSimulator:
 
         self._finished = True
         traces = [
-            build_job_trace(job, num_nodes=len(self.cluster))
+            build_job_trace(
+                job,
+                num_nodes=len(self.cluster),
+                attempt_counts=self._attempt_numbers if self._failure_model else None,
+            )
             for job in self._jobs.values()
         ]
         return SimulationResult(
@@ -218,6 +253,8 @@ class ClusterSimulator:
                 self._on_am_ready(event.payload)
             elif event.kind is EventKind.TASK_LAUNCH:
                 self._on_task_launch(event.payload)
+            elif event.kind is EventKind.NODE_FAILURE:
+                self._on_node_failure(event.payload)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {event.kind}")
 
@@ -275,9 +312,20 @@ class ClusterSimulator:
 
     def _on_task_launch(self, payload: tuple[int, str]) -> None:
         job_id, task_id = payload
+        skips = self._skip_launches.get(task_id)
+        if skips:
+            # The container behind this launch event was killed (node failure
+            # or losing speculative attempt) before the task started.
+            if skips == 1:
+                del self._skip_launches[task_id]
+            else:
+                self._skip_launches[task_id] = skips - 1
+            return
         context = self._contexts[job_id]
         task = context.job.task_by_id(task_id)
         context.app_master.build_stages(task)
+        if self._failure_model is not None:
+            self._apply_failure_plan(context, task)
         task.mark_running(self._now)
         if task.task_type is TaskType.MAP:
             split = context.job.split_for(task)
@@ -288,6 +336,20 @@ class ClusterSimulator:
         self._engine.add_task(task, self._now)
 
     def _on_task_completed(self, task: TaskAttempt) -> None:
+        if self._failure_model is not None:
+            if task.task_id in self._doomed:
+                self._doomed.discard(task.task_id)
+                self._on_task_failed(task)
+                return
+            pair = self._spec_pairs.get(task.task_id)
+            if pair is not None:
+                if pair.resolved:
+                    if pair.winner is not task:
+                        # Losing attempt finishing in the same engine batch as
+                        # the winner; it has already been torn down.
+                        return
+                else:
+                    self._resolve_speculation(pair, task)
         task.mark_completed(self._now)
         context = self._contexts[task.job_id]
         context.job.record_task_completion(task)
@@ -313,3 +375,164 @@ class ClusterSimulator:
             context.am_container = None
         self.resource_manager.unregister_application(context.app_master)
         self._pending_jobs.discard(context.job.job_id)
+
+    # -- failure injection ---------------------------------------------------------
+
+    def _apply_failure_plan(self, context: _JobContext, task: TaskAttempt) -> None:
+        """Decide this attempt's fate at launch time (straggler / doomed / backup).
+
+        A straggler scales every stage by the slowdown factor; a doomed
+        attempt additionally truncates its stages to the work done before the
+        failure point, so the engine "completes" it exactly when the failure
+        strikes and :meth:`_on_task_completed` routes it to the failure path.
+        """
+        model = self._failure_model
+        attempt = self._attempt_numbers.get(task.task_id, 0) + 1
+        self._attempt_numbers[task.task_id] = attempt
+        factor = model.straggler_factor(task.task_id, attempt)
+        if factor != 1.0:
+            for stage in task.stages:
+                stage.scale(factor)
+        if model.attempt_fails(task.task_id, attempt):
+            point = model.failure_point(task.task_id, attempt)
+            for stage in task.stages:
+                stage.scale(point)
+            self._doomed.add(task.task_id)
+        if (
+            model.spec.speculative
+            and factor != 1.0
+            and task.task_id not in self._spec_pairs
+        ):
+            self._launch_speculative(context, task)
+
+    def _launch_speculative(self, context: _JobContext, task: TaskAttempt) -> None:
+        """Request a backup attempt for a straggler; first finisher wins."""
+        clone = TaskAttempt(
+            task_id=task.task_id + "~spec",
+            task_type=task.task_type,
+            job_id=task.job_id,
+            preferred_nodes=task.preferred_nodes,
+        )
+        context.job.register_speculative_attempt(clone, task)
+        context.app_master.schedule_speculative(clone, self._now)
+        pair = _SpeculationPair(original=task, clone=clone)
+        self._spec_pairs[task.task_id] = pair
+        self._spec_pairs[clone.task_id] = pair
+        self.metrics.speculative_launched += 1
+        self._needs_allocation = True
+
+    def _on_task_failed(self, task: TaskAttempt) -> None:
+        """A doomed attempt hit its failure point: tear down and re-execute."""
+        context = self._contexts[task.job_id]
+        self.metrics.task_failures += 1
+        container = context.containers.pop(task.task_id, None)
+        if container is not None:
+            self.node_managers[container.node_id].stop_container(container, self._now)
+            self.resource_manager.release_container(container, self._now)
+        pair = self._spec_pairs.get(task.task_id)
+        if pair is not None and task is pair.clone:
+            # A failed backup just dies; the original attempt is still live.
+            if not pair.resolved:
+                pair.resolved = True
+                pair.winner = pair.original
+            context.app_master.on_task_killed(task)
+            self._needs_allocation = True
+            return
+        context.app_master.reschedule_task(task, self._now)
+        self.metrics.task_reexecutions += 1
+        self._needs_allocation = True
+
+    def _resolve_speculation(self, pair: _SpeculationPair, winner: TaskAttempt) -> None:
+        """First finisher wins: adopt the winner, kill the other attempt."""
+        pair.resolved = True
+        pair.winner = winner
+        context = self._contexts[winner.job_id]
+        loser = pair.clone if winner is pair.original else pair.original
+        if winner is pair.clone:
+            context.job.adopt_speculative_winner(pair.clone, pair.original)
+            self.metrics.speculative_wins += 1
+        self._kill_attempt(context, loser)
+
+    def _kill_attempt(self, context: _JobContext, task: TaskAttempt) -> None:
+        """Tear down a live attempt without re-executing it (speculative loser)."""
+        self._doomed.discard(task.task_id)
+        self._engine.remove_task(task)
+        container = context.containers.pop(task.task_id, None)
+        if container is not None:
+            self.node_managers[container.node_id].stop_container(container, self._now)
+            self.resource_manager.release_container(container, self._now)
+            self.metrics.containers_killed += 1
+            if task.state is TaskState.ASSIGNED:
+                # Granted but not launched: swallow the pending launch event.
+                self._skip_launches[task.task_id] = (
+                    self._skip_launches.get(task.task_id, 0) + 1
+                )
+        context.app_master.on_task_killed(task)
+        self._needs_allocation = True
+
+    def _on_node_failure(self, occurrence: int) -> None:
+        """A whole node dies: kill its containers, lose its map outputs.
+
+        Mirrors Hadoop semantics: running attempts are re-executed elsewhere,
+        and the map outputs stored on the node become unfetchable, forcing
+        re-execution of the affected completed maps (reducers stall until the
+        output is regenerated).  Nodes hosting an ApplicationMaster are never
+        picked (AM recovery is out of scope), and the last alive node is
+        never killed so jobs can always finish.
+        """
+        model = self._failure_model
+        am_nodes = {
+            ctx.am_container.node_id
+            for ctx in self._contexts.values()
+            if ctx.am_container is not None
+        }
+        alive = sum(1 for node in self.cluster if node.alive)
+        eligible = [
+            node.node_id
+            for node in self.cluster
+            if node.alive and node.node_id not in am_nodes
+        ]
+        if not eligible or alive < 2:
+            return
+        victim_id = model.pick_victim(eligible, occurrence)
+        node = self.cluster.node(victim_id)
+        node.alive = False
+        self.metrics.node_failures += 1
+        node_manager = self.node_managers[victim_id]
+        for container in list(node_manager.running_containers):
+            context = self._contexts[container.job_id]
+            task = context.job.task_by_id(container.assigned_task)
+            self._doomed.discard(task.task_id)
+            self._engine.remove_task(task)
+            context.containers.pop(task.task_id, None)
+            node_manager.stop_container(container, self._now)
+            self.resource_manager.release_container(container, self._now)
+            self.metrics.containers_killed += 1
+            if task.state is TaskState.ASSIGNED:
+                self._skip_launches[task.task_id] = (
+                    self._skip_launches.get(task.task_id, 0) + 1
+                )
+            pair = self._spec_pairs.get(task.task_id)
+            if pair is not None and task is pair.clone:
+                if not pair.resolved:
+                    pair.resolved = True
+                    pair.winner = pair.original
+                context.app_master.on_task_killed(task)
+                continue
+            context.app_master.reschedule_task(task, self._now)
+            self.metrics.task_reexecutions += 1
+        # Completed map outputs stored on the victim are gone: invalidate the
+        # shuffle-availability counters (exact inverse of the completion
+        # bookkeeping) and re-execute those maps through the normal AM path.
+        for job_id in list(self._pending_jobs):
+            context = self._contexts[job_id]
+            for task in context.job.map_tasks:
+                if (
+                    task.state is TaskState.COMPLETED
+                    and task.assigned_node == victim_id
+                ):
+                    context.job.invalidate_map_completion(task)
+                    context.app_master.reschedule_task(task, self._now)
+                    self.metrics.maps_invalidated += 1
+                    self.metrics.task_reexecutions += 1
+        self._needs_allocation = True

@@ -201,6 +201,25 @@ class TaskAttempt:
                 total += stage.finished_at - stage.started_at
         return total
 
+    def reset_for_reexecution(self) -> None:
+        """Return the attempt to PENDING so the AM can schedule a new attempt.
+
+        Used by the failure model when an attempt fails or its node dies:
+        stages are discarded entirely (the AM rebuilds them at the next
+        launch, on whatever node the new container lands) and all placement
+        state and timestamps are cleared.  ``preferred_nodes`` is kept —
+        data locality is a property of the split, not of the attempt.
+        """
+        self.stages = []
+        self.state = TaskState.PENDING
+        self.assigned_node = None
+        self.container_id = None
+        self.scheduled_at = None
+        self.assigned_at = None
+        self.started_at = None
+        self.finished_at = None
+        self.shuffled_bytes = 0.0
+
     # -- state transitions ----------------------------------------------------
 
     def mark_scheduled(self, time: float) -> None:

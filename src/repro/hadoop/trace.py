@@ -39,6 +39,9 @@ class TaskTrace:
     cpu_seconds: float
     disk_seconds: float
     network_seconds: float
+    #: Number of launched attempts behind this completion (1 = first try;
+    #: defaulted so traces recorded before failure injection still load).
+    attempts: int = 1
 
     @property
     def is_map(self) -> bool:
@@ -134,8 +137,16 @@ class JobTrace:
         return cls.from_dict(data)
 
 
-def build_job_trace(job: MapReduceJob, num_nodes: int) -> JobTrace:
-    """Extract a :class:`JobTrace` from a completed simulated job."""
+def build_job_trace(
+    job: MapReduceJob,
+    num_nodes: int,
+    attempt_counts: dict[str, int] | None = None,
+) -> JobTrace:
+    """Extract a :class:`JobTrace` from a completed simulated job.
+
+    ``attempt_counts`` maps task ids to the number of launched attempts
+    (supplied by the simulator under failure injection; omitted → 1 each).
+    """
     if not job.is_complete or job.submitted_at is None or job.finished_at is None:
         raise TraceError(f"job {job.job_id} has not completed; cannot build a trace")
     task_traces = []
@@ -157,6 +168,7 @@ def build_job_trace(job: MapReduceJob, num_nodes: int) -> JobTrace:
                 cpu_seconds=task.resource_busy_time(StageKind.CPU),
                 disk_seconds=task.resource_busy_time(StageKind.DISK),
                 network_seconds=task.resource_busy_time(StageKind.NETWORK),
+                attempts=(attempt_counts or {}).get(task.task_id, 1),
             )
         )
     return JobTrace(

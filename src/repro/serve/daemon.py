@@ -38,6 +38,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import math
 import signal
 import threading
 from collections import deque
@@ -72,6 +73,12 @@ from .http import (
 POLICY_FIELDS = ("retries", "timeout", "on_error")
 
 
+def retry_after_value(seconds: float) -> str:
+    """``Retry-After`` wire value: RFC 9110 delay-seconds, a non-negative
+    integer — fractional configs round *up* so clients never retry early."""
+    return str(max(0, math.ceil(seconds)))
+
+
 @dataclass(frozen=True)
 class ServeConfig:
     """Daemon tunables (the CLI flags map straight onto these)."""
@@ -88,7 +95,8 @@ class ServeConfig:
     max_retries: int = 5
     #: Ceiling on per-request ``policy.timeout`` (seconds).
     max_timeout: float = 120.0
-    #: ``Retry-After`` seconds advertised on 429 responses.
+    #: ``Retry-After`` seconds advertised on 429 and drain-503 responses
+    #: (rounded up to whole seconds on the wire, per RFC 9110).
     retry_after: float = 1.0
     #: Largest accepted request body.
     max_body_bytes: int = 1 << 20
@@ -203,7 +211,11 @@ class PredictionDaemon:
         check-then-act sequences here are atomic without a lock.
         """
         if self._draining:
-            raise HttpError(503, "daemon is draining; not accepting new work")
+            raise HttpError(
+                503,
+                "daemon is draining; not accepting new work",
+                headers={"retry-after": retry_after_value(self.config.retry_after)},
+            )
         if self._inflight < self.config.max_inflight:
             self._inflight += 1
             return
@@ -212,7 +224,7 @@ class PredictionDaemon:
                 429,
                 f"admission queue is full ({self.config.max_inflight} in flight, "
                 f"{self.config.queue_depth} queued)",
-                headers={"retry-after": f"{self.config.retry_after:g}"},
+                headers={"retry-after": retry_after_value(self.config.retry_after)},
             )
         loop = asyncio.get_running_loop()
         slot: asyncio.Future = loop.create_future()
@@ -325,8 +337,19 @@ class PredictionDaemon:
         }
 
     def _stats_payload(self) -> dict:
+        stats = self.service.stats()
         return {
-            "service": self.service.stats().to_dict(),
+            "service": stats.to_dict(),
+            # The degradation ladder's counters, pulled out of the service
+            # stats so dashboards and operators can alarm on them without
+            # knowing the full counter schema.
+            "degradation": {
+                "pool_rebuilds": stats.pool_rebuilds,
+                "pool_fallbacks": stats.pool_fallbacks,
+                "batch_fallbacks": stats.batch_fallbacks,
+                "breaker_trips": stats.breaker_trips,
+                "declined": stats.declined,
+            },
             "breakers": {
                 name: snapshot.to_dict()
                 for name, snapshot in self.service.breakers().items()

@@ -117,7 +117,10 @@ async def read_request(
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise HttpError(400, f"malformed request line: {request_line!r}")
     method, target, _version = parts
-    split = urlsplit(target)
+    try:
+        split = urlsplit(target)
+    except ValueError as exc:  # e.g. an unbalanced IPv6 bracket in the target
+        raise HttpError(400, f"malformed request target: {target!r}") from exc
     headers: dict[str, str] = {}
     for _ in range(MAX_HEADERS + 1):
         line = await _read_line(reader)

@@ -1,0 +1,33 @@
+"""Failure-recovery scenario family.
+
+A profile built for studying failure injection: shuffle-heavy enough that
+lost map output visibly stalls reducers (making node-failure recovery a
+first-order effect), with moderate per-MiB costs so re-executed attempts
+dominate the runtime delta rather than drowning in CPU noise.
+
+``duration_cv`` defaults to 0 — deliberately.  The failure model supplies
+its own, *seeded and attempt-keyed*, variability (stragglers, failure
+points), so zeroing the log-normal stage jitter makes the clean run fully
+deterministic and every failure effect strictly additive.  That is what
+gives the monotonicity guarantee tested by the failure suite: any non-zero
+:class:`~repro.config.FailureSpec` can only add work or delay.
+"""
+
+from __future__ import annotations
+
+from .profiles import ApplicationProfile
+
+
+def recovery_profile(duration_cv: float = 0.0) -> ApplicationProfile:
+    """The failure-recovery profile (shuffle-heavy, jitter-free by default)."""
+    return ApplicationProfile(
+        name="failure-recovery",
+        map_cpu_seconds_per_mib=0.30,
+        reduce_cpu_seconds_per_mib=0.22,
+        map_output_ratio=0.6,
+        reduce_output_ratio=0.15,
+        spill_write_factor=1.3,
+        merge_write_factor=1.0,
+        startup_cpu_seconds=2.0,
+        duration_cv=duration_cv,
+    )

@@ -72,6 +72,29 @@ class TestCompare:
         assert "mva-forkjoin" in output and "aria" in output
         assert "simulator" not in output
 
+    def test_declining_backends_degrade_to_declined_rows(self, capsys):
+        # Under a straggler spec, vianna declines; the comparison still runs
+        # and renders the decline instead of aborting.
+        assert main(["compare", *SMALL_ARGS, "--straggler-frac", "0.2"]) == 0
+        captured = capsys.readouterr()
+        assert "vianna           declined" in captured.out
+        assert "note: vianna declined:" in captured.err
+        # The backends that can correct for the spec still report numbers.
+        assert captured.out.count("%") == len(backend_names()) - 2
+
+    def test_node_failure_spec_keeps_only_the_simulator(self, capsys):
+        assert main(["compare", *SMALL_ARGS, "--node-failure-time", "30"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("declined") == len(backend_names()) - 1
+        assert "simulator" in captured.out
+
+    def test_declining_baseline_is_a_structured_error(self, capsys):
+        assert main(
+            ["compare", *SMALL_ARGS, "--straggler-frac", "0.2",
+             "--backend", "aria", "--baseline", "vianna"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestSweep:
     def test_sweep_suite_file(self, tmp_path, capsys):

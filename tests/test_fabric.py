@@ -13,8 +13,12 @@ from __future__ import annotations
 
 import json
 import os
+import signal
+import subprocess
+import sys
 import threading
 import time
+from pathlib import Path
 
 import pytest
 
@@ -25,6 +29,7 @@ from repro.api import (
     ScenarioSuite,
     SweepScheduler,
 )
+from repro.api.backends import _REGISTRY
 from repro.api.store import LEASES_DIR, open_store
 from repro.api.store.leases import LEASE_SUFFIX, LeaseManager
 from repro.cli import main
@@ -399,6 +404,129 @@ class TestFabricChaos:
         assert not list((store_path / LEASES_DIR).glob(f"*{LEASE_SUFFIX}"))
         # The records themselves converged: one usable record per point.
         assert open_store(store_path).refresh().loaded == 4
+
+
+#: Worker program for the two-process SIGKILL takeover test.  Registers a
+#: backend that, in victim mode, signals the parent once it is evaluating
+#: (claims held, result not yet stored) and then hangs until SIGKILLed; in
+#: survivor mode it evaluates normally, appending one ledger line per inner
+#: evaluation so the parent can count duplicates across both processes.
+_TAKEOVER_WORKER = """\
+import sys
+import time
+from pathlib import Path
+
+mode, store_path, suite_path, signal_path, ledger_path = sys.argv[1:6]
+
+from repro.api import PredictionService, ScenarioSuite, SweepScheduler
+from repro.api.backends import _REGISTRY
+from repro.api.results import PredictionResult
+
+
+class TwoProcBackend:
+    name = "two-proc"
+
+    def predict(self, scenario):
+        if mode == "victim":
+            Path(signal_path).write_text(scenario.cache_key())
+            time.sleep(600.0)  # SIGKILLed here, mid-evaluation
+        with open(ledger_path, "a") as fh:
+            fh.write(f"{mode} {scenario.cache_key()}\\n")
+        return PredictionResult(
+            backend="two-proc",
+            scenario=scenario,
+            total_seconds=float(scenario.num_nodes),
+            phases={"map": 1.0},
+        )
+
+
+_REGISTRY["two-proc"] = TwoProcBackend
+suite = ScenarioSuite.from_json(Path(suite_path).read_text())
+service = PredictionService(backends=["two-proc"], store=store_path)
+outcome = SweepScheduler(service).run_cooperative(
+    suite, ["two-proc"], worker_id=mode, lease_ttl=1.0, poll_interval=0.1
+)
+print(outcome.describe())
+"""
+
+
+class TestTwoProcessTakeover:
+    def test_sigkilled_claim_owner_is_taken_over_by_a_peer_process(self, tmp_path):
+        """A real SIGKILL mid-evaluation cannot strand the grid.
+
+        Two separate OS processes share one store.  The victim claims the
+        whole grid, starts evaluating, and is SIGKILLed while holding every
+        lease — no cleanup, no release, exactly what an OOM kill leaves on
+        disk.  The survivor must wait out one lease TTL, take the dead
+        claims over through the tombstone-rename path, and finish the grid
+        with zero duplicate evaluations and zero duplicate records.
+        """
+        store_path = tmp_path / "store"
+        suite_path = tmp_path / "suite.json"
+        suite = _suite([2, 3, 4])
+        suite_path.write_text(suite.to_json())
+        worker_path = tmp_path / "takeover_worker.py"
+        worker_path.write_text(_TAKEOVER_WORKER)
+        signal_path = tmp_path / "victim-evaluating"
+        ledger_path = tmp_path / "ledger"
+        repo_root = Path(__file__).resolve().parents[1]
+        env = {**os.environ, "PYTHONPATH": str(repo_root / "src")}
+
+        def spawn(mode: str) -> subprocess.Popen:
+            return subprocess.Popen(
+                [
+                    sys.executable, str(worker_path), mode,
+                    str(store_path), str(suite_path),
+                    str(signal_path), str(ledger_path),
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+
+        victim = spawn("victim")
+        try:
+            deadline = time.monotonic() + 30.0
+            while not signal_path.exists():
+                assert victim.poll() is None, victim.stderr.read()
+                assert time.monotonic() < deadline, "victim never started evaluating"
+                time.sleep(0.02)
+            # The victim is mid-evaluation and owns live claims.
+            observer = open_store(store_path).lease_manager("observer")
+            held = observer.scan()
+            assert held, "victim held no leases at kill time"
+            assert {info.worker for info in held} == {"victim"}
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30.0)
+            assert victim.returncode == -signal.SIGKILL
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait(timeout=30.0)
+        # The dead worker's claim files are still on disk — takeover territory.
+        assert observer.scan()
+        survivor = spawn("survivor")
+        stdout, stderr = survivor.communicate(timeout=120.0)
+        assert survivor.returncode == 0, stderr
+        assert "worker 'survivor': 3 evaluated of 3 claimed" in stdout
+        # Every point was evaluated exactly once, all by the survivor: the
+        # victim died mid-first-evaluation and never stored anything.
+        lines = ledger_path.read_text().splitlines()
+        evaluated = [line.split() for line in lines]
+        assert sorted(key for _, key in evaluated) == sorted(
+            scenario.cache_key() for scenario in suite.scenarios
+        )
+        assert {mode for mode, _ in evaluated} == {"survivor"}
+        # One usable record per point, and no claim outlived the sweep.  The
+        # parent must know the producing backend to validate the records, so
+        # mirror the workers' registration for the duration of the scan.
+        _REGISTRY["two-proc"] = type("TwoProcStub", (), {"name": "two-proc"})
+        try:
+            assert open_store(store_path).refresh().loaded == 3
+        finally:
+            _REGISTRY.pop("two-proc", None)
+        assert not list((store_path / LEASES_DIR).glob(f"*{LEASE_SUFFIX}"))
 
 
 class TestFabricCli:

@@ -44,6 +44,7 @@ from repro.api.resilience import BREAKER_OPEN, BreakerSnapshot
 from repro.api.results import PredictionResult
 from repro.exceptions import TransientError, ValidationError
 from repro.serve import ServeConfig, daemon_in_thread, resolve_policy
+from repro.serve.daemon import retry_after_value
 from repro.serve.http import HttpError
 from repro.serve.loadgen import DaemonClient, percentile, run_predict_load
 from repro.units import megabytes
@@ -310,6 +311,16 @@ class TestDaemonEndpoints:
             assert status == 200
             assert ServiceStats.from_dict(body["service"]).evaluations == 1
             assert body["server"]["max_inflight"] == 4
+            # Degradation counters surface as their own /stats section so
+            # operators can spot graceful-degradation churn without diffing
+            # the full service stats blob.
+            assert body["degradation"] == {
+                "pool_rebuilds": 0,
+                "pool_fallbacks": 0,
+                "batch_fallbacks": 0,
+                "breaker_trips": 0,
+                "declined": 0,
+            }
             # Validation and routing errors.
             assert client.get_json("/nope")[0] == 404
             assert client.get_json("/predict")[0] == 405
@@ -444,7 +455,11 @@ class TestDaemonEndpoints:
                 response = connection.getresponse()
                 payload = json.loads(response.read())
                 assert response.status == 429
-                assert response.getheader("Retry-After") == "2.5"
+                # RFC 9110 delay-seconds: a non-negative integer, fractional
+                # configs rounded up so clients never retry early.
+                retry_after = response.getheader("Retry-After")
+                assert re.fullmatch(r"\d+", retry_after)
+                assert retry_after == "3"
                 assert "queue is full" in payload["error"]
             finally:
                 connection.close()
@@ -452,6 +467,19 @@ class TestDaemonEndpoints:
             first.join(timeout=30.0)
             second.join(timeout=30.0)
             assert statuses == [200, 200]
+
+    def test_retry_after_is_rfc9110_integer_seconds(self):
+        # RFC 9110 §10.2.3: Retry-After delay-seconds is a non-negative
+        # decimal integer. Fractions round *up* (never invite an early
+        # retry); negatives clamp to zero.
+        assert retry_after_value(0.0) == "0"
+        assert retry_after_value(0.5) == "1"
+        assert retry_after_value(1.0) == "1"
+        assert retry_after_value(2.5) == "3"
+        assert retry_after_value(30.0) == "30"
+        assert retry_after_value(-4.0) == "0"
+        for seconds in (0.0, 0.1, 1.0, 2.5, 7.0):
+            assert re.fullmatch(r"\d+", retry_after_value(seconds))
 
     def test_sweep_streams_points_and_replays_from_store(
         self, temporary_backend, tmp_path
@@ -532,11 +560,28 @@ class TestDaemonEndpoints:
             # New work is rejected: either an explicit 503 (connection was
             # accepted before the listener closed) or a refused connection.
             try:
-                status, _ = client.post_json(
-                    "/predict",
-                    {"scenario": SMALL.to_dict(), "backend": "serve-drain"},
+                connection = http.client.HTTPConnection(
+                    daemon.host, daemon.port, timeout=30.0
                 )
-                assert status == 503
+                try:
+                    connection.request(
+                        "POST",
+                        "/predict",
+                        body=json.dumps(
+                            {"scenario": SMALL.to_dict(), "backend": "serve-drain"}
+                        ),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    response.read()
+                    assert response.status == 503
+                    # The drain 503 tells clients when to retry, in RFC 9110
+                    # integer seconds like the 429 path.
+                    assert re.fullmatch(
+                        r"\d+", response.getheader("Retry-After")
+                    )
+                finally:
+                    connection.close()
             except OSError:
                 pass
             gated.release.set()
