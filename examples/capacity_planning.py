@@ -1,15 +1,16 @@
 """Capacity planning: how many nodes does a workload need?
 
 The paper motivates analytic models with "critical decision making in
-workload management and resource capacity planning".  This example uses the
-model to answer a planning question without running anything on a cluster:
+workload management and resource capacity planning".  This example asks the
+planner the question directly:
 
     "Four analysts each run a 5 GB WordCount concurrently every hour.
-     How many nodes keep the average job response time under a target?"
+     What is the smallest cluster keeping job response time under a target?"
 
-The model is evaluated for 4..12 nodes and the smallest cluster meeting the
-target is reported; the chosen size is then cross-checked against the
-simulator.
+``CapacityPlanner`` searches the declared node grid with the analytic model
+(coarse pass, then bisection refinement around the incumbent), records every
+probe in an auditable ``PlanReport``, and the simulator backend cross-checks
+the reported optimum via ``confirm_backend``.
 
 Run with::
 
@@ -18,16 +19,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import EstimatorKind, Hadoop2PerformanceModel
-from repro.hadoop import ClusterSimulator
-from repro.units import format_seconds, gigabytes, megabytes
-from repro.workloads import (
-    generate_concurrent_jobs,
-    model_input_from_profile,
-    paper_cluster,
-    paper_scheduler,
-    wordcount_profile,
-)
+from repro.api import CapacityPlanner, Constraint, Objective, PlanSpec, Scenario
+from repro.units import format_seconds, gigabytes
 
 #: Average job response time the planner wants to stay under (seconds).
 TARGET_SECONDS = 400.0
@@ -36,47 +29,29 @@ NUM_JOBS = 4
 
 
 def main() -> None:
-    profile = wordcount_profile()
-    job_config = profile.job_config(
-        input_size_bytes=gigabytes(5),
-        block_size_bytes=megabytes(128),
-        num_reduces=4,
+    spec = PlanSpec(
+        scenario=Scenario(
+            workload="wordcount", input_size_bytes=gigabytes(5), num_jobs=NUM_JOBS
+        ),
+        objective=Objective("min-nodes"),
+        constraint=Constraint(deadline_seconds=TARGET_SECONDS),
+        confirm_backend="simulator",
     )
-    print(f"target: average response time of {NUM_JOBS} concurrent 5 GB WordCount jobs "
-          f"below {format_seconds(TARGET_SECONDS)}")
-
-    chosen_nodes = None
-    print(f"{'nodes':>5}  {'fork/join estimate':>20}")
-    for num_nodes in range(4, 13, 2):
-        cluster = paper_cluster(num_nodes)
-        model_input = model_input_from_profile(
-            profile, cluster, job_config, num_jobs=NUM_JOBS
-        )
-        prediction = Hadoop2PerformanceModel(model_input).predict(EstimatorKind.FORK_JOIN)
-        marker = ""
-        if chosen_nodes is None and prediction.job_response_time <= TARGET_SECONDS:
-            chosen_nodes = num_nodes
-            marker = "  <-- smallest cluster meeting the target"
-        print(f"{num_nodes:>5}  {prediction.job_response_time:>18.1f} s{marker}")
-
-    if chosen_nodes is None:
-        print("no cluster size up to 12 nodes meets the target")
+    print(
+        f"target: average response time of {NUM_JOBS} concurrent 5 GB WordCount "
+        f"jobs below {format_seconds(TARGET_SECONDS)}"
+    )
+    report = CapacityPlanner().plan(spec)
+    print(report.render_table())
+    best = report.best
+    if best is None:
+        print("no cluster size in the search space meets the target")
         return
-
-    # Cross-check the chosen size against the simulator.
-    cluster = paper_cluster(chosen_nodes)
-    simulator = ClusterSimulator(cluster, paper_scheduler(), seed=7)
-    for config in generate_concurrent_jobs(
-        profile,
-        input_size_bytes=gigabytes(5),
-        block_size_bytes=megabytes(128),
-        num_reduces=4,
-        num_jobs=NUM_JOBS,
-    ):
-        simulator.submit_job(config, profile.simulator_profile())
-    result = simulator.run()
-    print(f"simulator check on {chosen_nodes} nodes: mean response "
-          f"{result.mean_response_time:.1f} s (target {TARGET_SECONDS:.0f} s)")
+    check = next(probe for probe in report.probes if probe.phase == "confirm")
+    print(
+        f"simulator check on {best.point.num_nodes} nodes: mean response "
+        f"{check.total_seconds:.1f} s (target {TARGET_SECONDS:.0f} s)"
+    )
 
 
 if __name__ == "__main__":

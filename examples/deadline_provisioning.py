@@ -1,13 +1,12 @@
-"""Deadline-driven provisioning with the ARIA baseline vs. the new model.
+"""Deadline-driven provisioning through the capacity planner.
 
-ARIA (related work, paper Section 2.1) answers "how many slots does this job
-need to finish before its deadline?" using makespan bounds over a job
-profile.  This example
-
-1. profiles a 5 GB WordCount by simulating it once on a large cluster,
-2. uses the ARIA bounds to pick the number of map slots for a 600 s deadline,
-3. cross-checks the chosen allocation with the Hadoop 2.x analytic model and
-   the simulator.
+ARIA (related work, paper Section 2.1) answers "how many resources does
+this job need to finish before its deadline?" from makespan bounds over a
+job profile.  The planner generalises that question to any registered
+backend: here it searches the cluster-size grid with the ARIA baseline as
+the probing backend, then the Hadoop 2.x analytic model and the simulator
+re-evaluate the chosen allocation — the same profile → bound → cross-check
+workflow, in ~20 lines over the planner API.
 
 Run with::
 
@@ -16,72 +15,44 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import EstimatorKind, Hadoop2PerformanceModel
-from repro.hadoop import ClusterSimulator
-from repro.static_models import AriaJobProfile, AriaModel
-from repro.units import gigabytes, megabytes
-from repro.workloads import (
-    model_input_from_profile,
-    paper_cluster,
-    paper_scheduler,
-    wordcount_profile,
+from repro.api import (
+    CapacityPlanner,
+    Constraint,
+    Objective,
+    PlanSpec,
+    PredictionService,
+    Scenario,
 )
+from repro.units import gigabytes
 
 DEADLINE_SECONDS = 600.0
 
 
 def main() -> None:
-    profile = wordcount_profile()
-    job_config = profile.job_config(
-        input_size_bytes=gigabytes(5),
-        block_size_bytes=megabytes(128),
-        num_reduces=4,
+    spec = PlanSpec(
+        scenario=Scenario(workload="wordcount", input_size_bytes=gigabytes(5)),
+        objective=Objective("min-nodes"),
+        constraint=Constraint(deadline_seconds=DEADLINE_SECONDS),
+        backend="aria",
+        confirm_backend="simulator",
     )
-
-    # 1. Profile the job on a generously sized cluster (no waves, no waiting).
-    profiling_cluster = paper_cluster(num_nodes=8)
-    simulator = ClusterSimulator(profiling_cluster, paper_scheduler(), seed=3)
-    simulator.submit_job(job_config, profile.simulator_profile())
-    trace = simulator.run().job_traces[0]
-    maps = trace.map_traces()
-    reduces = trace.reduce_traces()
-    aria_profile = AriaJobProfile(
-        num_maps=trace.num_maps,
-        num_reduces=trace.num_reduces,
-        avg_map_seconds=trace.average_map_duration(),
-        max_map_seconds=max(task.duration for task in maps),
-        avg_shuffle_seconds=trace.average_shuffle_sort_duration(),
-        max_shuffle_seconds=max(task.shuffle_sort_duration for task in reduces),
-        avg_reduce_seconds=trace.average_merge_duration(),
-        max_reduce_seconds=max(task.merge_duration for task in reduces),
-    )
-    print(f"job profile: avg map {aria_profile.avg_map_seconds:.1f}s, "
-          f"avg shuffle {aria_profile.avg_shuffle_seconds:.1f}s, "
-          f"avg reduce {aria_profile.avg_reduce_seconds:.1f}s")
-
-    # 2. ARIA: smallest slot allocation meeting the deadline.
-    aria = AriaModel(aria_profile)
-    map_slots, reduce_slots = aria.slots_for_deadline(
-        DEADLINE_SECONDS, max_slots=64, reduce_slots=job_config.num_reduces
-    )
-    estimate = aria.estimate_seconds(map_slots, reduce_slots)
-    print(f"ARIA: {map_slots} map slots + {reduce_slots} reduce slots "
-          f"-> T_avg estimate {estimate:.1f}s (deadline {DEADLINE_SECONDS:.0f}s)")
-
-    # 3. Cross-check: translate the slot count into a cluster size and compare
-    #    the Hadoop 2.x model and the simulator on it.
-    containers_per_node = paper_cluster(1).maps_per_node()
-    num_nodes = max(1, -(-map_slots // containers_per_node))  # ceil division
-    cluster = paper_cluster(num_nodes)
-    model_input = model_input_from_profile(profile, cluster, job_config, num_jobs=1)
-    prediction = Hadoop2PerformanceModel(model_input).predict(EstimatorKind.FORK_JOIN)
-    check = ClusterSimulator(cluster, paper_scheduler(), seed=5)
-    check.submit_job(job_config, profile.simulator_profile())
-    measured = check.run().mean_response_time
-    print(f"chosen cluster: {num_nodes} nodes ({containers_per_node} containers/node)")
-    print(f"  Hadoop 2.x model (fork/join): {prediction.job_response_time:.1f}s")
-    print(f"  simulator measurement:        {measured:.1f}s")
-    met = "met" if measured <= DEADLINE_SECONDS else "MISSED"
+    service = PredictionService()
+    report = CapacityPlanner(service).plan(spec)
+    print(report.render_table())
+    best = report.best
+    if best is None:
+        print(f"no candidate meets the {DEADLINE_SECONDS:.0f}s deadline")
+        return
+    # Cross-check the winner with the paper's analytic model alongside the
+    # simulator confirmation already recorded in the report.
+    scenario = best.point.scenario(spec.scenario)
+    prediction = service.evaluate(scenario, "mva-forkjoin")
+    check = next(probe for probe in report.probes if probe.phase == "confirm")
+    print(f"chosen cluster: {best.point.num_nodes} nodes")
+    print(f"  ARIA bound:                   {best.total_seconds:.1f}s")
+    print(f"  Hadoop 2.x model (fork/join): {prediction.total_seconds:.1f}s")
+    print(f"  simulator measurement:        {check.total_seconds:.1f}s")
+    met = "met" if check.total_seconds <= DEADLINE_SECONDS else "MISSED"
     print(f"  deadline of {DEADLINE_SECONDS:.0f}s {met}")
 
 

@@ -30,12 +30,18 @@ __version__ = "1.1.0"
 
 _API_EXPORTS = {
     "BackendComparison",
+    "CapacityPlanner",
+    "Constraint",
+    "Objective",
+    "PlanReport",
+    "PlanSpec",
     "PredictionBackend",
     "PredictionResult",
     "PredictionService",
     "ResultStore",
     "Scenario",
     "ScenarioSuite",
+    "SearchSpace",
     "SuiteResult",
     "backend_names",
     "create_backend",
@@ -57,10 +63,15 @@ def __dir__() -> list[str]:
 
 __all__ = [
     "BackendComparison",
+    "CapacityPlanner",
     "ClusterConfig",
+    "Constraint",
     "ContainerSpec",
     "JobConfig",
     "NodeSpec",
+    "Objective",
+    "PlanReport",
+    "PlanSpec",
     "PredictionBackend",
     "PredictionResult",
     "PredictionService",
@@ -68,6 +79,7 @@ __all__ = [
     "Scenario",
     "ScenarioSuite",
     "SchedulerConfig",
+    "SearchSpace",
     "SuiteResult",
     "backend_names",
     "create_backend",

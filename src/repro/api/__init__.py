@@ -92,13 +92,38 @@ from .store import (
 )
 from .sweep import CooperativeOutcome, SweepOutcome, SweepPlan, SweepScheduler
 
+#: Capacity-planner names re-exported lazily (PEP 562): ``repro.plan`` builds
+#: on this package, so an eager import here would be circular.  Importing any
+#: of these from ``repro.api`` resolves through :func:`__getattr__` below.
+_PLANNER_EXPORTS = (
+    "CapacityPlanner",
+    "Constraint",
+    "Objective",
+    "PlanPoint",
+    "PlanProbe",
+    "PlanReport",
+    "PlanSpec",
+    "SearchSpace",
+)
+
+
+def __getattr__(name: str):
+    if name in _PLANNER_EXPORTS:
+        from .. import plan
+
+        return getattr(plan, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BackendCapabilityError",
     "BackendComparison",
     "BaseResultStore",
     "BreakerPolicy",
     "BreakerSnapshot",
+    "CapacityPlanner",
     "CircuitBreaker",
+    "Constraint",
     "CooperativeOutcome",
     "DEFAULT_BASELINE",
     "EXECUTION_MODES",
@@ -108,6 +133,11 @@ __all__ = [
     "LeaseManager",
     "NO_RETRY",
     "ON_ERROR_MODES",
+    "Objective",
+    "PlanPoint",
+    "PlanProbe",
+    "PlanReport",
+    "PlanSpec",
     "PredictionBackend",
     "PredictionResult",
     "PredictionService",
@@ -119,6 +149,7 @@ __all__ = [
     "STORE_FORMAT_VERSION",
     "Scenario",
     "ScenarioSuite",
+    "SearchSpace",
     "ServiceStats",
     "SqliteResultStore",
     "StoreStats",

@@ -14,6 +14,12 @@ main entry points of the library through the unified prediction API:
   the per-backend error bands against the simulator (markdown table +
   ``ACCURACY_DASHBOARD`` JSONL lines), and optionally gate the run against a
   committed ``accuracy-baseline.json`` (nonzero exit on band drift);
+* ``plan``     — invert the model: search a :class:`~repro.api.SearchSpace`
+  of cluster sizes / container memories / reduce counts for the candidate
+  optimising an :class:`~repro.api.Objective` (min-cost / min-makespan /
+  min-nodes) under a :class:`~repro.api.Constraint` (deadline, budget,
+  memory ceiling), printing the full auditable
+  :class:`~repro.api.PlanReport`;
 * ``serve``    — run the long-lived prediction daemon (HTTP/JSON endpoints
   with bounded admission, request coalescing, per-request resilience
   policies, streaming NDJSON sweeps, graceful SIGTERM drain);
@@ -69,6 +75,7 @@ from .api import (
     backend_names,
     open_store,
 )
+from .plan import OBJECTIVE_KINDS, CapacityPlanner, Constraint, Objective, PlanSpec, SearchSpace
 from .api.dashboard import (
     ARTIFACT_PREFIX,
     DASHBOARD_BACKENDS,
@@ -96,6 +103,37 @@ from .units import parse_size
 DEFAULT_PREDICT_BACKENDS = ("mva-forkjoin", "mva-tripathi")
 #: Backends ``sweep`` evaluates when no ``--backend`` is given.
 DEFAULT_SWEEP_BACKENDS = ("simulator", "mva-forkjoin", "mva-tripathi")
+
+
+class _DefaultsFormatter(argparse.HelpFormatter):
+    """Help formatter that appends ``(default: X)`` to every knob.
+
+    Options whose help text already states its default (in any phrasing
+    containing the word "default") are left alone, as are flags and
+    required/positional arguments — so the normalisation cannot produce
+    ``(default: False)`` noise or contradict a hand-written explanation.
+    """
+
+    def _get_help_string(self, action: argparse.Action) -> str:
+        text = action.help or ""
+        default = action.default
+        if (
+            default is None
+            or default is argparse.SUPPRESS
+            or isinstance(default, bool)
+            or not isinstance(default, (int, float, str))
+            or not action.option_strings
+            or "default" in text.lower()
+        ):
+            return text
+        return f"{text} (default: %(default)s)"
+
+
+def _json_envelope(result, metadata: dict, failed: list) -> str:
+    """The shared ``--json`` shape every subcommand emits."""
+    return json.dumps(
+        {"result": result, "metadata": metadata, "failed": failed}, indent=2
+    )
 
 
 def _add_scenario_arguments(
@@ -436,7 +474,19 @@ def _command_sweep(args: argparse.Namespace) -> int:
         outcome = scheduler.run(suite, backends, plan=plan)
     suite_result = outcome.result
     if args.json:
-        print(json.dumps(suite_result.to_dict(), indent=2))
+        # The shared envelope: the grid under "result", run accounting under
+        # "metadata", structured failure rows under "failed" (they also stay
+        # embedded in their grid cells for per-scenario context).
+        failed = [
+            {"scenario": index, "backend": name, **failure.to_dict()}
+            for index, name, failure in suite_result.failures()
+        ]
+        metadata = {
+            "total_points": outcome.plan.total_points,
+            "cached": outcome.plan.cached_points,
+            "evaluations": outcome.stats.evaluations,
+        }
+        print(_json_envelope(suite_result.to_dict(), metadata, failed))
         _print_store_summary(args, service)
         return 0
     print(f"suite: {suite.name} ({len(suite.scenarios)} scenarios)")
@@ -458,6 +508,82 @@ def _sweep_cell(row: dict, name: str) -> str:
     if not result.ok:
         return f"{'failed':>14}"
     return f"{result.total_seconds:>14.2f}"
+
+
+def _parse_int_axis(text: str) -> tuple[int, ...]:
+    """Parse an axis spec: ``A:B[:S]`` (inclusive range) or ``a,b,c``."""
+    try:
+        if ":" in text:
+            parts = [int(part) for part in text.split(":")]
+            if len(parts) not in (2, 3):
+                raise ValueError("expected A:B or A:B:S")
+            start, stop = parts[0], parts[1]
+            step = parts[2] if len(parts) == 3 else 1
+            values = tuple(range(start, stop + 1, step))
+        else:
+            values = tuple(int(part) for part in text.split(","))
+    except ValueError as exc:
+        raise ValidationError(f"invalid axis {text!r}: {exc}") from exc
+    if not values:
+        raise ValidationError(f"axis {text!r} names no values")
+    return values
+
+
+def _parse_size_axis(text: str) -> tuple[int, ...]:
+    """Parse a comma list of sizes (``1GB,16GB,32GB``) into bytes."""
+    return tuple(parse_size(part) for part in text.split(","))
+
+
+def _plan_spec_from_args(args: argparse.Namespace) -> PlanSpec:
+    scenario = _scenario_from_args(args)
+    overrides: dict = {}
+    if args.plan_nodes is not None:
+        overrides["num_nodes"] = _parse_int_axis(args.plan_nodes)
+    if args.plan_memory is not None:
+        overrides["container_memory_bytes"] = _parse_size_axis(args.plan_memory)
+    if args.plan_reduces is not None:
+        overrides["num_reduces"] = _parse_int_axis(args.plan_reduces)
+    space = (
+        SearchSpace.for_workload(scenario.workload, **overrides)
+        if overrides
+        else None  # None = the workload profile's declared knobs
+    )
+    return PlanSpec(
+        scenario=scenario,
+        objective=Objective(kind=args.objective, node_cost_per_hour=args.node_cost),
+        constraint=Constraint(
+            deadline_seconds=args.deadline,
+            budget=args.budget,
+            memory_ceiling_bytes=(
+                parse_size(args.memory_ceiling)
+                if args.memory_ceiling is not None
+                else None
+            ),
+        ),
+        space=space,
+        backend=args.plan_backend,
+        confirm_backend=args.confirm_backend,
+        surrogate=args.surrogate,
+        max_evaluations=args.max_evaluations,
+        coarse=args.coarse,
+    )
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    spec = _plan_spec_from_args(args)
+    backends = [spec.backend]
+    if spec.confirm_backend is not None and spec.confirm_backend not in backends:
+        backends.append(spec.confirm_backend)
+    service = _service_from_args(args, backends)
+    report = CapacityPlanner(service).plan(spec)
+    if args.json:
+        # PlanReport.to_dict() already is the result/metadata/failed envelope.
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_table())
+    _print_store_summary(args, service)
+    _print_resilience_summary(service)
+    return 0 if report.feasible else 1
 
 
 def _command_serve(args: argparse.Namespace) -> int:
@@ -627,20 +753,27 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _subparser(subparsers, name: str, **kwargs) -> argparse.ArgumentParser:
+    """``add_parser`` with the defaults-announcing help formatter applied."""
+    kwargs.setdefault("formatter_class", _DefaultsFormatter)
+    return subparsers.add_parser(name, **kwargs)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro-hadoop2",
         description="MapReduce performance models for Hadoop 2.x (EDBT 2017) — reproduction",
+        formatter_class=_DefaultsFormatter,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    list_parser = subparsers.add_parser(
-        "list", help="list available figures, backends, and workloads"
+    list_parser = _subparser(
+        subparsers, "list", help="list available figures, backends, and workloads"
     )
     list_parser.set_defaults(handler=_command_list)
 
-    figure_parser = subparsers.add_parser("figure", help="regenerate one evaluation figure")
+    figure_parser = _subparser(subparsers, "figure", help="regenerate one evaluation figure")
     figure_parser.add_argument("figure_id", choices=sorted(FIGURE_DEFINITIONS))
     figure_parser.add_argument("--repetitions", type=int, default=3)
     figure_parser.add_argument("--seed", type=int, default=1234)
@@ -648,8 +781,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_arguments(figure_parser)
     figure_parser.set_defaults(handler=_command_figure)
 
-    predict_parser = subparsers.add_parser(
-        "predict", help="evaluate one scenario with selected backends"
+    predict_parser = _subparser(
+        subparsers, "predict", help="evaluate one scenario with selected backends"
     )
     _add_scenario_arguments(predict_parser)
     predict_parser.add_argument(
@@ -661,8 +794,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_arguments(predict_parser)
     predict_parser.set_defaults(handler=_command_predict)
 
-    compare_parser = subparsers.add_parser(
-        "compare", help="all backends side by side with relative errors"
+    compare_parser = _subparser(
+        subparsers, "compare", help="all backends side by side with relative errors"
     )
     _add_scenario_arguments(compare_parser)
     compare_parser.add_argument(
@@ -680,8 +813,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_arguments(compare_parser)
     compare_parser.set_defaults(handler=_command_compare)
 
-    sweep_parser = subparsers.add_parser(
-        "sweep", help="evaluate a scenario-suite JSON file across backends"
+    sweep_parser = _subparser(
+        subparsers, "sweep", help="evaluate a scenario-suite JSON file across backends"
     )
     sweep_parser.add_argument(
         "--suite", required=True, help="path to a ScenarioSuite JSON file ('-' for stdin)"
@@ -728,8 +861,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=_command_sweep)
 
-    dashboard_parser = subparsers.add_parser(
-        "dashboard",
+    dashboard_parser = _subparser(
+        subparsers, "dashboard",
         help="per-backend accuracy bands over a named grid, gated on a baseline",
     )
     dashboard_parser.add_argument(
@@ -795,8 +928,115 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_arguments(dashboard_parser)
     dashboard_parser.set_defaults(handler=_command_dashboard)
 
-    serve_parser = subparsers.add_parser(
-        "serve",
+    plan_parser = _subparser(
+        subparsers, "plan",
+        help="search for the best cluster under an objective and constraints "
+        "(exit 1 when no candidate is feasible)",
+    )
+    _add_scenario_arguments(plan_parser)
+    plan_parser.add_argument(
+        "--objective",
+        default="min-cost",
+        choices=OBJECTIVE_KINDS,
+        help="what the planner minimises",
+    )
+    plan_parser.add_argument(
+        "--node-cost",
+        dest="node_cost",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="price of one node for one hour (any currency; 1.0 = node-hours)",
+    )
+    plan_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="feasible plans must predict a response time at or below this",
+    )
+    plan_parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="COST",
+        help="feasible plans must cost at most this (in --node-cost units)",
+    )
+    plan_parser.add_argument(
+        "--memory-ceiling",
+        dest="memory_ceiling",
+        default=None,
+        metavar="SIZE",
+        help="prune candidates asking for containers above this size (e.g. 16GB)",
+    )
+    plan_parser.add_argument(
+        "--plan-nodes",
+        dest="plan_nodes",
+        default=None,
+        metavar="A:B[:S]|a,b,c",
+        help="cluster-size axis to search (default: the workload's declared knobs)",
+    )
+    plan_parser.add_argument(
+        "--plan-memory",
+        dest="plan_memory",
+        default=None,
+        metavar="SIZES",
+        help="container-memory axis to search, comma-separated sizes "
+        "(default: the workload's declared knobs)",
+    )
+    plan_parser.add_argument(
+        "--plan-reduces",
+        dest="plan_reduces",
+        default=None,
+        metavar="A:B[:S]|a,b,c",
+        help="reduce-count axis to search (default: the workload's declared knobs)",
+    )
+    plan_parser.add_argument(
+        "--plan-backend",
+        dest="plan_backend",
+        default="mva-forkjoin",
+        choices=backend_names(),
+        help="backend that evaluates search probes",
+    )
+    plan_parser.add_argument(
+        "--confirm-backend",
+        dest="confirm_backend",
+        default=None,
+        choices=backend_names(),
+        help="re-evaluate the reported optimum with this backend "
+        "(default: no separate confirmation)",
+    )
+    plan_parser.add_argument(
+        "--surrogate",
+        action="store_true",
+        help="fit an interpolation surrogate after the coarse pass and let it "
+        "nominate candidates (each confirmed by the real backend)",
+    )
+    plan_parser.add_argument(
+        "--max-evaluations",
+        dest="max_evaluations",
+        type=int,
+        default=64,
+        metavar="N",
+        help="hard ceiling on probe evaluations the search may spend",
+    )
+    plan_parser.add_argument(
+        "--coarse",
+        type=int,
+        default=3,
+        metavar="K",
+        help="values per axis in the coarse pass (endpoints always included)",
+    )
+    plan_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full plan report as a result/metadata/failed envelope",
+    )
+    _add_service_arguments(plan_parser)
+    plan_parser.set_defaults(handler=_command_plan)
+
+    serve_parser = _subparser(
+        subparsers, "serve",
         help="run the prediction daemon (HTTP/JSON, admission control, "
         "request coalescing, streaming sweeps)",
     )
@@ -837,13 +1077,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_arguments(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
 
-    store_parser = subparsers.add_parser(
-        "store",
+    store_parser = _subparser(
+        subparsers, "store",
         help="maintain a persistent result store (gc, info)",
     )
     store_subparsers = store_parser.add_subparsers(dest="store_command", required=True)
-    store_gc_parser = store_subparsers.add_parser(
-        "gc",
+    store_gc_parser = _subparser(
+        store_subparsers, "gc",
         help="expire, evict, and compact store records; reap dead leases",
     )
     store_gc_parser.add_argument("path", help="store directory")
@@ -879,8 +1119,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the gc stats as JSON"
     )
     store_gc_parser.set_defaults(handler=_command_store_gc)
-    store_info_parser = store_subparsers.add_parser(
-        "info", help="report a store's engine, record counts, and leases"
+    store_info_parser = _subparser(
+        store_subparsers, "info", help="report a store's engine, record counts, and leases"
     )
     store_info_parser.add_argument("path", help="store directory")
     store_info_parser.add_argument(
@@ -894,7 +1134,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     # simulate is one seeded raw run (per-job traces), so --repetitions —
     # which only affects the simulator *backend*'s median-of-N — is omitted.
-    simulate_parser = subparsers.add_parser("simulate", help="run the YARN simulator")
+    simulate_parser = _subparser(subparsers, "simulate", help="run the YARN simulator")
     _add_scenario_arguments(simulate_parser, repetitions=False)
     simulate_parser.set_defaults(handler=_command_simulate)
 

@@ -1,0 +1,250 @@
+"""The durable, replayable artifact a capacity-planning run produces.
+
+A :class:`PlanReport` records *everything* the optimizer did: every probe it
+evaluated (point, backend, predicted time, modelled cost, feasibility), the
+order in which rounds refined the incumbent, and which candidates were
+pruned before evaluation.  The report is the planner's ledger: serialising
+it (:meth:`PlanReport.to_dict`) yields the same ``result`` / ``metadata`` /
+``failed`` envelope the CLI's other subcommands emit, and the ``result``
+section is a pure function of the :class:`~repro.plan.spec.PlanSpec` — a
+re-run against a warm store reproduces it bit-identically (only
+``metadata`` counters such as live evaluations differ).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..exceptions import ValidationError
+from ..units import format_size
+from .spec import PlanPoint, PlanSpec, _from_mapping
+
+
+@dataclass(frozen=True)
+class PlanProbe:
+    """One evaluated candidate: the point, its prediction, its verdict."""
+
+    #: Global evaluation order within the plan (0-based, deterministic).
+    order: int
+    #: Which stage produced this probe: ``coarse``, ``surrogate``,
+    #: ``refine`` or ``confirm``.
+    phase: str
+    point: PlanPoint
+    backend: str
+    total_seconds: float
+    #: Modelled cost under the spec's objective (node-hours × rate).
+    cost: float
+    #: The quantity the objective minimises for this candidate.
+    objective_value: float
+    feasible: bool
+    #: Names of violated constraints (empty when feasible).
+    violations: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view; inverse of :meth:`from_dict`."""
+        return {
+            "order": self.order,
+            "phase": self.phase,
+            "point": self.point.to_dict(),
+            "backend": self.backend,
+            "total_seconds": self.total_seconds,
+            "cost": self.cost,
+            "objective_value": self.objective_value,
+            "feasible": self.feasible,
+            "violations": list(self.violations),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PlanProbe":
+        """Build a probe from a dictionary."""
+        if not isinstance(data, Mapping):
+            raise ValidationError(
+                f"plan probe must be a mapping, got {type(data).__name__}"
+            )
+        payload = dict(data)
+        if not isinstance(payload.get("point"), PlanPoint):
+            payload["point"] = PlanPoint.from_dict(payload.get("point", {}))
+        if isinstance(payload.get("violations"), list):
+            payload["violations"] = tuple(payload["violations"])
+        return _from_mapping(cls, payload, "plan probe")
+
+
+@dataclass(frozen=True)
+class PlanRound:
+    """One batch of the search, in incumbent-refinement order."""
+
+    phase: str
+    #: Probe orders evaluated in this round.
+    probes: tuple[int, ...]
+    #: Probe order of the incumbent after this round (``None`` while no
+    #: feasible candidate has been found).
+    incumbent: int | None
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view; inverse of :meth:`from_dict`."""
+        return {
+            "phase": self.phase,
+            "probes": list(self.probes),
+            "incumbent": self.incumbent,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PlanRound":
+        """Build a round from a dictionary."""
+        payload = dict(data) if isinstance(data, Mapping) else data
+        if isinstance(payload, dict) and isinstance(payload.get("probes"), list):
+            payload["probes"] = tuple(payload["probes"])
+        return _from_mapping(cls, payload, "plan round")
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """Complete, auditable record of one capacity-planning run."""
+
+    spec: PlanSpec
+    #: Every evaluated candidate, in evaluation order.
+    probes: tuple[PlanProbe, ...]
+    #: The search trajectory: which probes each round added and who led.
+    rounds: tuple[PlanRound, ...]
+    #: The winning probe (``None`` when no candidate was feasible).
+    best: PlanProbe | None
+    #: Candidates rejected before evaluation, as ``(point, reason)``.
+    pruned: tuple[tuple[PlanPoint, str], ...] = ()
+    #: Probes whose backend evaluation failed terminally, as raw
+    #: ``{"point": ..., "backend": ..., "error_type": ..., "error": ...}``.
+    failed: tuple[dict, ...] = ()
+    #: Candidate points in the (post-pruning) grid.
+    grid_size: int = 0
+    #: Live backend evaluations this run performed (cached points excluded).
+    evaluations: int = 0
+    #: Points answered from the service cache or the result store.
+    cached: int = 0
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the plan found any candidate satisfying the constraints."""
+        return self.best is not None
+
+    def to_dict(self) -> dict:
+        """The standard CLI envelope: ``result`` / ``metadata`` / ``failed``.
+
+        Everything under ``result`` is a pure function of the spec — two
+        runs of the same spec (cold or warm store) serialise it
+        byte-for-byte identically.  Run-dependent counters (live vs cached
+        evaluations) live under ``metadata``.
+        """
+        return {
+            "result": {
+                "spec": self.spec.to_dict(),
+                "best": None if self.best is None else self.best.to_dict(),
+                "probes": [probe.to_dict() for probe in self.probes],
+                "rounds": [round_.to_dict() for round_ in self.rounds],
+                "pruned": [
+                    {"point": point.to_dict(), "reason": reason}
+                    for point, reason in self.pruned
+                ],
+            },
+            "metadata": {
+                "feasible": self.feasible,
+                "grid_size": self.grid_size,
+                "budget": self.spec.max_evaluations,
+                "probe_count": len(self.probes),
+                "evaluations": self.evaluations,
+                "cached": self.cached,
+            },
+            "failed": list(self.failed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PlanReport":
+        """Rebuild a report from its envelope (CLI ``--json`` / daemon body)."""
+        if not isinstance(data, Mapping):
+            raise ValidationError(
+                f"plan report must be a mapping, got {type(data).__name__}"
+            )
+        result = data.get("result")
+        metadata = data.get("metadata")
+        if not isinstance(result, Mapping) or not isinstance(metadata, Mapping):
+            raise ValidationError(
+                "plan report requires 'result' and 'metadata' sections"
+            )
+        best = result.get("best")
+        return cls(
+            spec=PlanSpec.from_dict(result.get("spec", {})),
+            probes=tuple(
+                PlanProbe.from_dict(entry) for entry in result.get("probes", [])
+            ),
+            rounds=tuple(
+                PlanRound.from_dict(entry) for entry in result.get("rounds", [])
+            ),
+            best=None if best is None else PlanProbe.from_dict(best),
+            pruned=tuple(
+                (PlanPoint.from_dict(entry["point"]), entry["reason"])
+                for entry in result.get("pruned", [])
+            ),
+            failed=tuple(dict(entry) for entry in data.get("failed", [])),
+            grid_size=metadata.get("grid_size", 0),
+            evaluations=metadata.get("evaluations", 0),
+            cached=metadata.get("cached", 0),
+        )
+
+    def path(self) -> list[str]:
+        """The refinement path as one human-readable line per round."""
+        lines = []
+        by_order = {probe.order: probe for probe in self.probes}
+        for round_ in self.rounds:
+            leader = by_order.get(round_.incumbent) if round_.incumbent is not None else None
+            where = leader.point.describe() if leader is not None else "no feasible incumbent"
+            lines.append(
+                f"{round_.phase}: {len(round_.probes)} probe(s) -> {where}"
+            )
+        return lines
+
+    def render_table(self) -> str:
+        """Human-readable report: the question, the probes, the answer."""
+        lines = [f"plan {self.spec.fingerprint()}: {self.spec.describe()}"]
+        lines.append(
+            f"grid {self.grid_size} candidate(s), budget {self.spec.max_evaluations}, "
+            f"{len(self.probes)} probed ({self.evaluations} live, {self.cached} cached), "
+            f"{len(self.pruned)} pruned, {len(self.failed)} failed"
+        )
+        header = (
+            f"{'#':>3} {'phase':<9} {'candidate':<34} {'backend':<14} "
+            f"{'seconds':>10} {'cost':>10}  verdict"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for probe in self.probes:
+            verdict = "ok" if probe.feasible else "violates " + ",".join(probe.violations)
+            marker = " *" if self.best is not None and probe.order == self.best.order else ""
+            lines.append(
+                f"{probe.order:>3} {probe.phase:<9} {probe.point.describe():<34} "
+                f"{probe.backend:<14} {probe.total_seconds:>10.1f} {probe.cost:>10.2f}"
+                f"  {verdict}{marker}"
+            )
+        for entry in self.failed:
+            point = PlanPoint.from_dict(entry["point"])
+            lines.append(
+                f"  ! {point.describe()} on {entry.get('backend', '?')}: "
+                f"{entry.get('error_type', 'Error')}: {entry.get('error', '')}"
+            )
+        lines.append("")
+        for line in self.path():
+            lines.append(f"  {line}")
+        lines.append("")
+        if self.best is None:
+            lines.append("no feasible plan under the given constraints")
+        else:
+            best = self.best
+            memory = (
+                format_size(best.point.container_memory_bytes)
+                if best.point.container_memory_bytes is not None
+                else "base"
+            )
+            lines.append(
+                f"best: {best.point.describe()} "
+                f"(containers: {memory}) -> {best.total_seconds:.1f}s, "
+                f"cost {best.cost:.2f} [{self.spec.objective.kind}]"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,456 @@
+"""Frozen capacity-planning specifications: what to optimise, under what.
+
+The planner inverts the prediction API: instead of "how long does this job
+take on this cluster?" it answers "what is the cheapest cluster that meets
+my deadline?".  Three new frozen, hashable, JSON-round-trippable specs make
+that question first-class:
+
+* :class:`Objective` — what "best" means (minimise cost, makespan, or
+  node count) plus the cost model (a flat $/node-hour rate);
+* :class:`Constraint` — what a candidate must satisfy to be feasible
+  (deadline on the predicted response time, budget on the modelled cost,
+  ceiling on the per-container memory ask);
+* :class:`SearchSpace` — which knobs the planner may turn, as explicit
+  candidate values per axis: cluster size × container memory × reduce
+  count (the config knob workload profiles declare as plannable).
+
+A :class:`PlanSpec` combines them with a base
+:class:`~repro.api.scenario.Scenario`, the backend that evaluates probes,
+and the search budget.  Like scenarios, plan specs serialise canonically
+(:meth:`PlanSpec.cache_key`), so a plan is cacheable, resumable through the
+result store, and replayable bit-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..api.scenario import Scenario
+from ..config import ClusterConfig
+from ..exceptions import ConfigurationError, ValidationError
+from ..units import parse_size
+from ..workloads.generators import paper_cluster
+from ..workloads.profiles import plan_knobs
+
+#: Version of the plan-spec semantics; bump when the meaning of a field (or
+#: how the planner consumes one) changes in a way that invalidates reports.
+PLAN_SPEC_VERSION = 1
+
+#: Accepted objective kinds.
+OBJECTIVE_KINDS = ("min-cost", "min-makespan", "min-nodes")
+
+
+def _positive(name: str, value: float | int | None) -> None:
+    if value is not None and value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """What the planner minimises, and the cost model it charges with.
+
+    The modelled cost of a candidate is ``num_nodes × predicted hours ×
+    node_cost_per_hour`` — node-hours scaled by a flat rate.  Every
+    objective reports that cost; ``kind`` selects which quantity is
+    actually minimised (ties always break deterministically towards fewer
+    nodes, then smaller containers, then fewer reduces).
+    """
+
+    kind: str = "min-cost"
+    #: Flat price of one node for one hour (any currency; 1.0 = node-hours).
+    node_cost_per_hour: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in OBJECTIVE_KINDS:
+            raise ValidationError(
+                f"unknown objective kind {self.kind!r}; known: {list(OBJECTIVE_KINDS)}"
+            )
+        _positive("node_cost_per_hour", self.node_cost_per_hour)
+
+    def cost(self, num_nodes: int, total_seconds: float) -> float:
+        """Modelled cost of running the workload on ``num_nodes`` nodes."""
+        return num_nodes * (total_seconds / 3600.0) * self.node_cost_per_hour
+
+    def value(self, num_nodes: int, total_seconds: float) -> float:
+        """The quantity this objective minimises for one candidate."""
+        if self.kind == "min-cost":
+            return self.cost(num_nodes, total_seconds)
+        if self.kind == "min-makespan":
+            return total_seconds
+        return float(num_nodes)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view; inverse of :meth:`from_dict`."""
+        return {"kind": self.kind, "node_cost_per_hour": self.node_cost_per_hour}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Objective":
+        """Build an objective from a dictionary."""
+        return _from_mapping(cls, data, "objective")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Feasibility requirements a candidate plan must satisfy.
+
+    All fields are optional; ``None`` means unconstrained.  The memory
+    ceiling is *static* (it prunes search-space points before any
+    evaluation); deadline and budget are checked against each probe's
+    predicted response time and modelled cost.
+    """
+
+    #: Predicted job response time must not exceed this (seconds).
+    deadline_seconds: float | None = None
+    #: Modelled cost (see :meth:`Objective.cost`) must not exceed this.
+    budget: float | None = None
+    #: Per-container memory ask must not exceed this (bytes).
+    memory_ceiling_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        _positive("deadline_seconds", self.deadline_seconds)
+        _positive("budget", self.budget)
+        _positive("memory_ceiling_bytes", self.memory_ceiling_bytes)
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether every candidate is trivially feasible."""
+        return (
+            self.deadline_seconds is None
+            and self.budget is None
+            and self.memory_ceiling_bytes is None
+        )
+
+    def admits(self, point: "PlanPoint") -> bool:
+        """Static pre-check: can ``point`` possibly be feasible?"""
+        return (
+            self.memory_ceiling_bytes is None
+            or point.container_memory_bytes is None
+            or point.container_memory_bytes <= self.memory_ceiling_bytes
+        )
+
+    def violations(self, total_seconds: float, cost: float) -> tuple[str, ...]:
+        """Names of the constraints a predicted outcome violates."""
+        violated = []
+        if self.deadline_seconds is not None and total_seconds > self.deadline_seconds:
+            violated.append("deadline")
+        if self.budget is not None and cost > self.budget:
+            violated.append("budget")
+        return tuple(violated)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view; inverse of :meth:`from_dict`."""
+        return {
+            "deadline_seconds": self.deadline_seconds,
+            "budget": self.budget,
+            "memory_ceiling_bytes": self.memory_ceiling_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Constraint":
+        """Build a constraint from a dictionary (sizes may be strings)."""
+        payload = dict(data) if isinstance(data, Mapping) else data
+        if isinstance(payload, dict) and payload.get("memory_ceiling_bytes") is not None:
+            payload["memory_ceiling_bytes"] = parse_size(payload["memory_ceiling_bytes"])
+        return _from_mapping(cls, payload, "constraint")
+
+
+@dataclass(frozen=True)
+class PlanPoint:
+    """One candidate of the search space (a coordinate, not a scenario)."""
+
+    num_nodes: int
+    #: ``None`` keeps the base scenario's container sizing untouched.
+    container_memory_bytes: int | None = None
+    #: ``None`` keeps the base scenario's reduce count untouched.
+    num_reduces: int | None = None
+
+    def describe(self) -> str:
+        """Short human-readable label for tables and logs."""
+        parts = [f"{self.num_nodes} nodes"]
+        if self.container_memory_bytes is not None:
+            parts.append(f"{self.container_memory_bytes / (1 << 30):g}GiB containers")
+        if self.num_reduces is not None:
+            parts.append(f"r={self.num_reduces}")
+        return ", ".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view; inverse of :meth:`from_dict`."""
+        return {
+            "num_nodes": self.num_nodes,
+            "container_memory_bytes": self.container_memory_bytes,
+            "num_reduces": self.num_reduces,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PlanPoint":
+        """Build a point from a dictionary."""
+        return _from_mapping(cls, data, "plan point")
+
+    def scenario(self, base: Scenario) -> Scenario:
+        """Materialise this candidate as a concrete scenario on top of ``base``.
+
+        Raises :class:`~repro.exceptions.ValidationError` when the candidate
+        is not constructible (e.g. a container larger than the node's YARN
+        envelope) — the planner prunes such points instead of evaluating.
+        """
+        changes: dict = {"num_nodes": self.num_nodes}
+        if self.num_reduces is not None:
+            changes["num_reduces"] = self.num_reduces
+        cluster: ClusterConfig | None = base.cluster
+        if cluster is not None:
+            cluster = cluster.with_nodes(self.num_nodes)
+        if self.container_memory_bytes is not None:
+            cluster = cluster if cluster is not None else paper_cluster(self.num_nodes)
+            try:
+                cluster = dataclasses.replace(
+                    cluster,
+                    map_container=dataclasses.replace(
+                        cluster.map_container,
+                        memory_bytes=self.container_memory_bytes,
+                    ),
+                    reduce_container=dataclasses.replace(
+                        cluster.reduce_container,
+                        memory_bytes=self.container_memory_bytes,
+                    ),
+                )
+                cluster.maps_per_node()  # raises when no container fits
+            except ConfigurationError as exc:
+                raise ValidationError(f"candidate {self.describe()}: {exc}") from exc
+        if cluster is not None:
+            changes["cluster"] = cluster
+        return base.with_updates(**changes)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Candidate values per plannable knob (the planner's grid).
+
+    ``num_nodes`` is mandatory and drives the search; the other axes
+    default to "do not vary" (an empty tuple keeps the base scenario's
+    value for that knob).  Values are stored sorted and deduplicated so two
+    spaces naming the same candidates hash and serialise identically.
+    """
+
+    num_nodes: tuple[int, ...]
+    container_memory_bytes: tuple[int, ...] = ()
+    num_reduces: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for axis in ("num_nodes", "container_memory_bytes", "num_reduces"):
+            values = getattr(self, axis)
+            if not isinstance(values, tuple):
+                values = tuple(values)
+            if any(
+                not isinstance(value, int) or isinstance(value, bool) or value <= 0
+                for value in values
+            ):
+                raise ValidationError(f"{axis} candidates must be positive integers")
+            object.__setattr__(self, axis, tuple(sorted(set(values))))
+        if not self.num_nodes:
+            raise ValidationError("search space needs at least one num_nodes candidate")
+
+    @classmethod
+    def for_workload(cls, workload: str, **overrides) -> "SearchSpace":
+        """The search space a workload profile declares as plannable.
+
+        Profiles register their plannable knobs through
+        :func:`repro.workloads.profiles.register_plan_knobs`; explicit
+        ``overrides`` (axis name → candidate values) replace the declared
+        defaults axis by axis.
+        """
+        axes = dict(plan_knobs(workload))
+        axes.update(overrides)
+        return cls(**axes)
+
+    def axes(self) -> dict[str, tuple]:
+        """The concrete iteration values of every axis (``None`` = keep base)."""
+        return {
+            "num_nodes": self.num_nodes,
+            "container_memory_bytes": self.container_memory_bytes or (None,),
+            "num_reduces": self.num_reduces or (None,),
+        }
+
+    def points(self) -> list[PlanPoint]:
+        """Every candidate point, in deterministic ascending order."""
+        axes = self.axes()
+        return [
+            PlanPoint(
+                num_nodes=nodes, container_memory_bytes=memory, num_reduces=reduces
+            )
+            for nodes in axes["num_nodes"]
+            for memory in axes["container_memory_bytes"]
+            for reduces in axes["num_reduces"]
+        ]
+
+    def __len__(self) -> int:
+        axes = self.axes()
+        total = 1
+        for values in axes.values():
+            total *= len(values)
+        return total
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view; inverse of :meth:`from_dict`."""
+        return {
+            "num_nodes": list(self.num_nodes),
+            "container_memory_bytes": list(self.container_memory_bytes),
+            "num_reduces": list(self.num_reduces),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SearchSpace":
+        """Build a search space from a dictionary (sizes may be strings)."""
+        payload = dict(data) if isinstance(data, Mapping) else data
+        if isinstance(payload, dict) and payload.get("container_memory_bytes"):
+            payload["container_memory_bytes"] = tuple(
+                parse_size(value) for value in payload["container_memory_bytes"]
+            )
+        if isinstance(payload, dict):
+            payload = {
+                key: tuple(value) if isinstance(value, list) else value
+                for key, value in payload.items()
+            }
+        return _from_mapping(cls, payload, "search space")
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """One complete capacity-planning question, frozen and cacheable."""
+
+    #: The workload being provisioned; its cluster knobs are what the
+    #: planner varies, everything else (input size, jobs, seed, ...) is
+    #: taken as given.
+    scenario: Scenario
+    objective: Objective = field(default_factory=Objective)
+    constraint: Constraint = field(default_factory=Constraint)
+    #: ``None`` resolves to the knobs the workload's profile declares.
+    space: SearchSpace | None = None
+    #: Backend that evaluates search probes (fast analytic by default).
+    backend: str = "mva-forkjoin"
+    #: Backend that confirms the reported optimum (``None`` = no separate
+    #: confirmation; the probing backend's answer stands).
+    confirm_backend: str | None = None
+    #: Fit an interpolation surrogate after the coarse pass and let it
+    #: nominate candidates (each nomination is confirmed by the real
+    #: backend before it can become the optimum).
+    surrogate: bool = False
+    #: Hard ceiling on (scenario, backend) evaluations a plan may spend.
+    max_evaluations: int = 64
+    #: Candidate values per axis in the coarse pass (endpoints included).
+    coarse: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_evaluations < 1:
+            raise ValidationError(
+                f"max_evaluations must be at least 1, got {self.max_evaluations}"
+            )
+        if self.coarse < 2:
+            raise ValidationError(f"coarse must be at least 2, got {self.coarse}")
+        if not self.backend:
+            raise ValidationError("backend must be non-empty")
+
+    def resolved_space(self) -> SearchSpace:
+        """The explicit space, or the workload profile's declared knobs."""
+        if self.space is not None:
+            return self.space
+        return SearchSpace.for_workload(self.scenario.workload)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view; inverse of :meth:`from_dict`."""
+        return {
+            "version": PLAN_SPEC_VERSION,
+            "scenario": self.scenario.to_dict(),
+            "objective": self.objective.to_dict(),
+            "constraint": self.constraint.to_dict(),
+            "space": None if self.space is None else self.space.to_dict(),
+            "backend": self.backend,
+            "confirm_backend": self.confirm_backend,
+            "surrogate": self.surrogate,
+            "max_evaluations": self.max_evaluations,
+            "coarse": self.coarse,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PlanSpec":
+        """Build a plan spec from a dictionary."""
+        if not isinstance(data, Mapping):
+            raise ValidationError(
+                f"plan spec must be a mapping, got {type(data).__name__}"
+            )
+        payload = dict(data)
+        version = payload.pop("version", PLAN_SPEC_VERSION)
+        if version != PLAN_SPEC_VERSION:
+            raise ValidationError(
+                f"unsupported plan-spec version {version!r} "
+                f"(this build speaks {PLAN_SPEC_VERSION})"
+            )
+        if "scenario" in payload:
+            payload["scenario"] = Scenario.from_dict(payload["scenario"])
+        if payload.get("objective") is not None and not isinstance(
+            payload["objective"], Objective
+        ):
+            payload["objective"] = Objective.from_dict(payload["objective"])
+        if payload.get("constraint") is not None and not isinstance(
+            payload["constraint"], Constraint
+        ):
+            payload["constraint"] = Constraint.from_dict(payload["constraint"])
+        if payload.get("space") is not None and not isinstance(
+            payload["space"], SearchSpace
+        ):
+            payload["space"] = SearchSpace.from_dict(payload["space"])
+        return _from_mapping(cls, payload, "plan spec")
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PlanSpec":
+        """Parse a plan spec from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"invalid plan-spec JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def cache_key(self) -> str:
+        """Stable canonical key identifying this plan question."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def fingerprint(self) -> str:
+        """Short stable digest of :meth:`cache_key` (suite/report naming)."""
+        import hashlib
+
+        return hashlib.sha256(self.cache_key().encode("utf-8")).hexdigest()[:12]
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the question."""
+        parts = [self.objective.kind, f"for {self.scenario.describe()}"]
+        if self.constraint.deadline_seconds is not None:
+            parts.append(f"deadline {self.constraint.deadline_seconds:g}s")
+        if self.constraint.budget is not None:
+            parts.append(f"budget {self.constraint.budget:g}")
+        if self.constraint.memory_ceiling_bytes is not None:
+            parts.append(
+                f"memory <= {self.constraint.memory_ceiling_bytes / (1 << 30):g}GiB"
+            )
+        return ", ".join(parts)
+
+
+def _from_mapping(cls, data, label: str):
+    """Shared strict constructor: reject non-mappings and unknown fields."""
+    if not isinstance(data, Mapping):
+        raise ValidationError(f"{label} must be a mapping, got {type(data).__name__}")
+    known = {spec.name for spec in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValidationError(
+            f"unknown {label} fields {sorted(unknown)}; known: {sorted(known)}"
+        )
+    try:
+        return cls(**dict(data))
+    except TypeError as exc:
+        raise ValidationError(f"invalid {label}: {exc}") from exc

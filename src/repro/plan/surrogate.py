@@ -1,0 +1,98 @@
+"""Fitted interpolation surrogate for instant interactive answers.
+
+After the coarse pass the planner has a handful of real predictions per
+``(container memory, reduce count)`` slice of the search space.  The
+surrogate fits piecewise-linear interpolants of predicted response time
+over the node axis, one per slice, and uses them to *nominate* promising
+unevaluated candidates — which the planner then confirms with the real
+backend before any of them can become the reported optimum.  The surrogate
+is deterministic (pure arithmetic over the probes it was fitted on), so a
+plan that uses it replays bit-identically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .spec import PlanPoint
+
+
+class InterpolationSurrogate:
+    """Per-slice 1-D linear interpolation of response time over nodes."""
+
+    def __init__(
+        self, slices: dict[tuple[int | None, int | None], list[tuple[int, float]]]
+    ) -> None:
+        self._slices = {
+            key: sorted(samples) for key, samples in slices.items() if samples
+        }
+
+    @classmethod
+    def fit(cls, probes: Iterable) -> "InterpolationSurrogate":
+        """Fit from evaluated :class:`~repro.plan.report.PlanProbe` objects."""
+        slices: dict[tuple[int | None, int | None], list[tuple[int, float]]] = {}
+        for probe in probes:
+            point = probe.point
+            key = (point.container_memory_bytes, point.num_reduces)
+            slices.setdefault(key, []).append((point.num_nodes, probe.total_seconds))
+        return cls(slices)
+
+    def predict(self, point: PlanPoint) -> float | None:
+        """Interpolated response time for ``point``; ``None`` off-model.
+
+        Within a slice's sampled node range the estimate interpolates
+        linearly between the bracketing samples; outside it the estimate
+        clamps to the nearest sample (flat extrapolation keeps the surrogate
+        conservative at the grid edges instead of projecting speedups it
+        has no evidence for).
+        """
+        samples = self._slices.get((point.container_memory_bytes, point.num_reduces))
+        if not samples:
+            return None
+        nodes = point.num_nodes
+        if nodes <= samples[0][0]:
+            return samples[0][1]
+        if nodes >= samples[-1][0]:
+            return samples[-1][1]
+        for (left_n, left_t), (right_n, right_t) in zip(samples, samples[1:]):
+            if left_n <= nodes <= right_n:
+                if right_n == left_n:
+                    return left_t
+                fraction = (nodes - left_n) / (right_n - left_n)
+                return left_t + fraction * (right_t - left_t)
+        return samples[-1][1]
+
+    def nominate(
+        self,
+        candidates: Iterable[PlanPoint],
+        objective,
+        constraint,
+        limit: int,
+    ) -> list[PlanPoint]:
+        """The ``limit`` most promising unevaluated candidates.
+
+        Candidates are ranked by the objective applied to the *surrogate's*
+        estimate; predicted-infeasible candidates rank behind predicted-
+        feasible ones rather than being dropped (the surrogate may be
+        wrong in either direction, and the real backend gets the final
+        word).  Ties break deterministically towards smaller points.
+        """
+        scored = []
+        for point in candidates:
+            estimate = self.predict(point)
+            if estimate is None:
+                continue
+            cost = objective.cost(point.num_nodes, estimate)
+            infeasible = bool(constraint.violations(estimate, cost))
+            scored.append(
+                (
+                    infeasible,
+                    objective.value(point.num_nodes, estimate),
+                    point.num_nodes,
+                    point.container_memory_bytes or 0,
+                    point.num_reduces or 0,
+                    point,
+                )
+            )
+        scored.sort(key=lambda entry: entry[:5])
+        return [entry[5] for entry in scored[: max(0, limit)]]

@@ -28,6 +28,11 @@ Serving semantics:
   a ``done`` line.  A client that disconnects mid-stream cancels the
   not-yet-started points; finished points are already persisted, so the
   store stays consistent and a re-run resumes from them.
+* **Capacity planning.** ``POST /plan`` runs a
+  :class:`~repro.plan.PlanSpec` search through the resident service under
+  the same admission gate and returns the full
+  :class:`~repro.plan.PlanReport` envelope — identical to ``repro plan
+  --json`` for the same spec.
 * **Lifecycle.** SIGTERM/SIGINT stop the listener, answer new work ``503``,
   drain the admitted + queued requests, flush the result store, and return
   — the CLI exits 0.
@@ -57,6 +62,7 @@ from ..api.scenario import Scenario, ScenarioSuite
 from ..api.service import PredictionService
 from ..api.sweep import SweepScheduler
 from ..exceptions import CircuitOpenError, ReproError, ValidationError
+from ..plan import CapacityPlanner, PlanSpec
 from .http import (
     LAST_CHUNK,
     HttpError,
@@ -301,7 +307,16 @@ class PredictionDaemon:
             await self._handle_compare(request, writer)
         elif route == ("POST", "/sweep"):
             await self._handle_sweep(request, writer)
-        elif request.path in ("/healthz", "/stats", "/predict", "/compare", "/sweep"):
+        elif route == ("POST", "/plan"):
+            await self._handle_plan(request, writer)
+        elif request.path in (
+            "/healthz",
+            "/stats",
+            "/predict",
+            "/compare",
+            "/sweep",
+            "/plan",
+        ):
             raise HttpError(405, f"{request.method} is not supported on {request.path}")
         else:
             raise HttpError(404, f"unknown endpoint {request.path!r}")
@@ -490,6 +505,38 @@ class PredictionDaemon:
                 "relative_errors": comparison.relative_errors(),
             },
         )
+
+    async def _handle_plan(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        """``POST /plan``: run a capacity-planning search under admission.
+
+        The body carries a serialised :class:`~repro.plan.PlanSpec` under
+        ``"plan"``; the response is the full
+        :class:`~repro.plan.PlanReport` envelope — byte-identical to what
+        ``repro plan --json`` prints for the same spec, so a daemon and a
+        CLI answering the same question are interchangeable.  The search
+        runs through the daemon's resident service, so its probes share the
+        cache, the store, and the coalescing registry with every other
+        request.
+        """
+        payload = request.json()
+        self._check_fields(payload, ("plan",))
+        if "plan" not in payload:
+            raise HttpError(400, "request body is missing 'plan'")
+        try:
+            spec = PlanSpec.from_dict(payload["plan"])
+        except ValidationError as exc:
+            raise HttpError(400, f"invalid plan spec: {exc}") from exc
+        self._check_backend(spec.backend)
+        if spec.confirm_backend is not None:
+            self._check_backend(spec.confirm_backend)
+        planner = CapacityPlanner(self.service)
+        try:
+            report = await self._run_admitted(partial(planner.plan, spec))
+        except ReproError as exc:
+            raise self._map_service_error(exc) from exc
+        await self._respond(writer, 200, report.to_dict())
 
     async def _handle_sweep(
         self, request: Request, writer: asyncio.StreamWriter

@@ -7,7 +7,11 @@ are almost free.  Used by examples to contrast against WordCount/TeraSort.
 
 from __future__ import annotations
 
-from .profiles import ApplicationProfile
+from .profiles import ApplicationProfile, register_plan_knobs
+
+# Map-heavy with a negligible shuffle: only the number of map slots (i.e.
+# nodes) matters, so that is the only knob declared plannable.
+register_plan_knobs("grep", num_nodes=tuple(range(2, 17, 2)))
 
 
 def grep_profile(duration_cv: float = 0.3) -> ApplicationProfile:

@@ -17,7 +17,11 @@ exactly the shape the persistent result store de-duplicates.
 
 from __future__ import annotations
 
-from .profiles import ApplicationProfile
+from .profiles import ApplicationProfile, register_plan_knobs
+
+# CPU-bound maps with tiny aggregates: capacity planning trades cluster size
+# against per-iteration cost, on a sparser grid (iterations amortise probes).
+register_plan_knobs("iterative-ml", num_nodes=(2, 4, 8, 12, 16))
 
 
 def iterative_profile(duration_cv: float = 0.3) -> ApplicationProfile:

@@ -118,6 +118,47 @@ class ApplicationProfile:
         return replace(self, duration_cv=duration_cv)
 
 
+#: Fallback plannable knobs for workloads that do not declare their own:
+#: vary the cluster size over the paper's range, keep containers and reduce
+#: counts at the scenario's values.
+DEFAULT_PLAN_KNOBS: dict[str, tuple[int, ...]] = {
+    "num_nodes": tuple(range(2, 17, 2)),
+    "container_memory_bytes": (),
+    "num_reduces": (),
+}
+
+_PLAN_KNOBS: dict[str, dict[str, tuple[int, ...]]] = {}
+
+_PLAN_AXES = frozenset(DEFAULT_PLAN_KNOBS)
+
+
+def register_plan_knobs(workload: str, **axes: tuple[int, ...]) -> None:
+    """Declare the knobs the capacity planner may vary for ``workload``.
+
+    Each keyword is an axis name (``num_nodes``, ``container_memory_bytes``
+    or ``num_reduces``) mapped to the candidate values the planner should
+    consider by default; omitted axes fall back to
+    :data:`DEFAULT_PLAN_KNOBS`.  Like the profile registry, duplicate
+    registrations are rejected so modules cannot silently shadow each
+    other's declarations.
+    """
+    if workload in _PLAN_KNOBS:
+        raise ConfigurationError(f"plan knobs for {workload!r} already registered")
+    unknown = set(axes) - _PLAN_AXES
+    if unknown:
+        raise ConfigurationError(
+            f"unknown plan axes {sorted(unknown)}; known: {sorted(_PLAN_AXES)}"
+        )
+    merged = dict(DEFAULT_PLAN_KNOBS)
+    merged.update({name: tuple(values) for name, values in axes.items()})
+    _PLAN_KNOBS[workload] = merged
+
+
+def plan_knobs(workload: str) -> dict[str, tuple[int, ...]]:
+    """The plannable knobs declared for ``workload`` (or the defaults)."""
+    return dict(_PLAN_KNOBS.get(workload, DEFAULT_PLAN_KNOBS))
+
+
 def model_input_from_profile(
     profile: ApplicationProfile,
     cluster: ClusterConfig,

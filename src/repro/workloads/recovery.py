@@ -15,7 +15,11 @@ gives the monotonicity guarantee tested by the failure suite: any non-zero
 
 from __future__ import annotations
 
-from .profiles import ApplicationProfile
+from .profiles import ApplicationProfile, register_plan_knobs
+
+# Recovery studies sweep modest clusters: beyond ~12 nodes a single node
+# failure stops being a first-order effect, so the declared grid stays small.
+register_plan_knobs("failure-recovery", num_nodes=(2, 4, 6, 8, 10, 12))
 
 
 def recovery_profile(duration_cv: float = 0.0) -> ApplicationProfile:

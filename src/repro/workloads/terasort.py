@@ -8,7 +8,15 @@ a second, I/O-dominated workload for the examples and the extension benches.
 
 from __future__ import annotations
 
-from .profiles import ApplicationProfile
+from .profiles import ApplicationProfile, register_plan_knobs
+
+# Shuffle-heavy: reduce parallelism genuinely moves the makespan, so TeraSort
+# declares it as a plannable knob alongside the cluster size.
+register_plan_knobs(
+    "terasort",
+    num_nodes=tuple(range(2, 17, 2)),
+    num_reduces=(4, 8, 16, 32),
+)
 
 
 def terasort_profile(duration_cv: float = 0.3) -> ApplicationProfile:

@@ -11,7 +11,11 @@ tasks reported in the literature.
 
 from __future__ import annotations
 
-from .profiles import ApplicationProfile
+from .profiles import ApplicationProfile, register_plan_knobs
+
+# WordCount scales near-linearly with map slots, so cluster size is the one
+# knob worth searching; the paper's evaluation range (plus headroom) bounds it.
+register_plan_knobs("wordcount", num_nodes=tuple(range(2, 17, 2)))
 
 
 def wordcount_profile(duration_cv: float = 0.3) -> ApplicationProfile:

@@ -122,9 +122,15 @@ class TestSweep:
             ["sweep", "--suite", str(path), "--backend", "aria", "--json"]
         ) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert ScenarioSuite.from_dict(payload["suite"]) == suite
-        assert payload["backends"] == ["aria"]
-        assert payload["results"][0]["aria"]["total_seconds"] > 0
+        # The shared result/metadata/failed envelope every subcommand emits.
+        assert set(payload) == {"result", "metadata", "failed"}
+        grid = payload["result"]
+        assert ScenarioSuite.from_dict(grid["suite"]) == suite
+        assert grid["backends"] == ["aria"]
+        assert grid["results"][0]["aria"]["total_seconds"] > 0
+        assert payload["metadata"]["total_points"] == 1
+        assert payload["metadata"]["evaluations"] == 1
+        assert payload["failed"] == []
 
     def test_invalid_suite_reports_error_exit_code(self, tmp_path, capsys):
         path = tmp_path / "bad.json"
@@ -386,3 +392,57 @@ class TestFigure:
         warm = capsys.readouterr()
         assert "9 store hits" in warm.err and "0 evaluated" in warm.err
         assert warm.out == cold.out
+
+
+class TestPlan:
+    PLAN_ARGS = [
+        "plan", "--input-size", "5GB", "--jobs", "4",
+        "--deadline", "400", "--plan-nodes", "2:16:2",
+    ]
+
+    def test_plan_finds_optimum_and_prints_table(self, capsys):
+        assert main(self.PLAN_ARGS) == 0
+        output = capsys.readouterr().out
+        assert "best: 8 nodes" in output
+        assert "coarse" in output and "refine" in output
+        assert "violates deadline" in output
+
+    def test_plan_json_emits_shared_envelope(self, capsys):
+        assert main([*self.PLAN_ARGS, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"result", "metadata", "failed"}
+        assert payload["result"]["best"]["point"]["num_nodes"] == 8
+        assert payload["metadata"]["feasible"] is True
+        assert payload["metadata"]["evaluations"] <= payload["metadata"]["budget"]
+        assert payload["failed"] == []
+
+    def test_infeasible_plan_exits_one(self, capsys):
+        assert main([
+            "plan", "--input-size", "256MB", "--plan-nodes", "2,4",
+            "--deadline", "0.001",
+        ]) == 1
+        assert "no feasible plan" in capsys.readouterr().out
+
+    def test_plan_store_resumes_with_zero_live_evaluations(self, tmp_path, capsys):
+        args = [*self.PLAN_ARGS, "--json", "--store", str(tmp_path / "store")]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["metadata"]["evaluations"] > 0
+        assert warm["metadata"]["evaluations"] == 0
+        # The auditable search record is bit-identical across cold and warm.
+        assert warm["result"] == cold["result"]
+
+    def test_invalid_axis_reports_error_exit_code(self, capsys):
+        assert main(["plan", "--plan-nodes", "banana"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_numeric_knobs_announce_defaults_in_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["plan", "--help"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert "(default: 64)" in output      # --max-evaluations
+        assert "(default: 2.5)" in output     # --straggler-slowdown
+        assert "(default: min-cost)" in output

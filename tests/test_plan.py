@@ -1,0 +1,376 @@
+"""Capacity planner: specs, search, report, determinism, resumability."""
+
+from __future__ import annotations
+
+import json
+import runpy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import PredictionService, Scenario
+from repro.exceptions import ValidationError
+from repro.plan import (
+    CapacityPlanner,
+    Constraint,
+    InterpolationSurrogate,
+    Objective,
+    PlanPoint,
+    PlanReport,
+    PlanSpec,
+    SearchSpace,
+    plan,
+)
+from repro.units import GiB, gigabytes, megabytes
+from repro.workloads.profiles import plan_knobs
+
+#: The reference scenario and grid of the golden search (mirrors BENCH_PLAN).
+REFERENCE_SCENARIO = Scenario(workload="wordcount", input_size_bytes=gigabytes(5), num_jobs=4)
+REFERENCE_SPACE = SearchSpace(num_nodes=(2, 4, 6, 8, 10, 12, 14, 16))
+REFERENCE_SPEC = PlanSpec(
+    scenario=REFERENCE_SCENARIO,
+    objective=Objective("min-cost"),
+    constraint=Constraint(deadline_seconds=400.0),
+    space=REFERENCE_SPACE,
+)
+
+#: One shared service: plan probes cache across tests, keeping the suite fast.
+_SERVICE = PredictionService()
+
+
+def _plan(spec: PlanSpec) -> PlanReport:
+    return CapacityPlanner(_SERVICE).plan(spec)
+
+
+class TestSpecs:
+    def test_objective_rejects_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            Objective("min-vibes")
+
+    def test_objective_cost_is_node_hours_times_rate(self):
+        objective = Objective("min-cost", node_cost_per_hour=2.0)
+        assert objective.cost(4, 1800.0) == pytest.approx(4.0)
+
+    def test_constraint_rejects_non_positive_bounds(self):
+        with pytest.raises(ValidationError):
+            Constraint(deadline_seconds=0.0)
+        with pytest.raises(ValidationError):
+            Constraint(budget=-1.0)
+
+    def test_search_space_requires_a_node_axis(self):
+        with pytest.raises(ValidationError):
+            SearchSpace(num_nodes=())
+
+    def test_search_space_sorts_and_deduplicates(self):
+        space = SearchSpace(num_nodes=(8, 2, 8, 4))
+        assert space.num_nodes == (2, 4, 8)
+        assert len(space) == 3
+
+    def test_search_space_rejects_non_positive_values(self):
+        with pytest.raises(ValidationError):
+            SearchSpace(num_nodes=(0, 2))
+
+    def test_for_workload_reads_declared_knobs(self):
+        space = SearchSpace.for_workload("wordcount")
+        assert space.num_nodes == tuple(plan_knobs("wordcount")["num_nodes"])
+        terasort = SearchSpace.for_workload("terasort")
+        assert terasort.num_reduces == (4, 8, 16, 32)
+        override = SearchSpace.for_workload("terasort", num_reduces=(2, 4))
+        assert override.num_reduces == (2, 4)
+
+    def test_plan_spec_round_trips_through_json(self):
+        spec = PlanSpec(
+            scenario=REFERENCE_SCENARIO,
+            objective=Objective("min-makespan"),
+            constraint=Constraint(budget=5.0, memory_ceiling_bytes=16 * GiB),
+            space=SearchSpace(num_nodes=(2, 4), container_memory_bytes=(GiB,)),
+            surrogate=True,
+            max_evaluations=7,
+        )
+        restored = PlanSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.cache_key() == spec.cache_key()
+        assert restored.fingerprint() == spec.fingerprint()
+
+    def test_plan_spec_rejects_unknown_fields_and_versions(self):
+        payload = REFERENCE_SPEC.to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(ValidationError):
+            PlanSpec.from_dict(payload)
+        payload = REFERENCE_SPEC.to_dict()
+        payload["version"] = 99
+        with pytest.raises(ValidationError):
+            PlanSpec.from_dict(payload)
+
+    def test_constraint_parses_size_strings(self):
+        constraint = Constraint.from_dict({"memory_ceiling_bytes": "16GB"})
+        assert constraint.memory_ceiling_bytes == 16 * GiB
+
+    def test_point_materialises_container_memory_onto_cluster(self):
+        point = PlanPoint(num_nodes=4, container_memory_bytes=16 * GiB)
+        scenario = point.scenario(REFERENCE_SCENARIO)
+        assert scenario.num_nodes == 4
+        assert scenario.cluster.map_container.memory_bytes == 16 * GiB
+        assert scenario.cluster.reduce_container.memory_bytes == 16 * GiB
+        # 96 GiB of YARN memory per node: 16 GiB containers become mem-bound.
+        assert scenario.cluster.maps_per_node() == 6
+
+    def test_point_too_large_for_a_node_is_a_validation_error(self):
+        point = PlanPoint(num_nodes=4, container_memory_bytes=2048 * GiB)
+        with pytest.raises(ValidationError):
+            point.scenario(REFERENCE_SCENARIO)
+
+
+class TestGoldenSearch:
+    """The reference grid: pinned optimum, evaluation count, refinement path."""
+
+    def test_finds_known_optimum_with_pinned_path(self):
+        report = _plan(REFERENCE_SPEC)
+        assert report.best is not None
+        assert report.best.point == PlanPoint(num_nodes=8)
+        # The search trace is pinned: coarse probes the endpoints + middle,
+        # then two bisection rounds close in on 8 nodes — 7 of 8 grid points,
+        # within budget, in this exact order.
+        assert [probe.point.num_nodes for probe in report.probes] == [2, 10, 16, 6, 12, 4, 8]
+        assert [probe.phase for probe in report.probes] == ["coarse"] * 3 + ["refine"] * 4
+        assert [round_.phase for round_ in report.rounds] == ["coarse", "refine", "refine"]
+        assert len(report.probes) <= REFERENCE_SPEC.max_evaluations
+        assert report.grid_size == 8
+        infeasible = [probe.point.num_nodes for probe in report.probes if not probe.feasible]
+        assert infeasible == [2, 4]
+
+    def test_search_is_deterministic(self):
+        first = _plan(REFERENCE_SPEC).to_dict()
+        second = _plan(REFERENCE_SPEC).to_dict()
+        assert first["result"] == second["result"]
+
+    def test_module_level_convenience_matches_planner(self):
+        convenience = plan(REFERENCE_SPEC, _SERVICE)
+        assert convenience.to_dict()["result"] == _plan(REFERENCE_SPEC).to_dict()["result"]
+
+    def test_budget_is_a_hard_ceiling(self):
+        spec = PlanSpec(
+            scenario=REFERENCE_SCENARIO,
+            constraint=Constraint(deadline_seconds=400.0),
+            space=REFERENCE_SPACE,
+            max_evaluations=3,
+        )
+        report = _plan(spec)
+        assert len(report.probes) + len(report.failed) <= 3
+
+    def test_memory_ceiling_prunes_before_evaluation(self):
+        spec = PlanSpec(
+            scenario=REFERENCE_SCENARIO,
+            constraint=Constraint(memory_ceiling_bytes=8 * GiB),
+            space=SearchSpace(num_nodes=(2, 4, 8), container_memory_bytes=(GiB, 16 * GiB)),
+        )
+        report = _plan(spec)
+        assert report.grid_size == 3
+        assert len(report.pruned) == 3
+        assert all(reason == "memory ceiling" for _, reason in report.pruned)
+        assert all(probe.point.container_memory_bytes == GiB for probe in report.probes)
+
+    def test_every_candidate_pruned_is_an_error(self):
+        spec = PlanSpec(
+            scenario=REFERENCE_SCENARIO,
+            constraint=Constraint(memory_ceiling_bytes=GiB),
+            space=SearchSpace(num_nodes=(2,), container_memory_bytes=(16 * GiB,)),
+        )
+        with pytest.raises(ValidationError):
+            _plan(spec)
+
+    def test_infeasible_constraints_yield_no_best(self):
+        spec = PlanSpec(
+            scenario=REFERENCE_SCENARIO,
+            constraint=Constraint(deadline_seconds=0.001),
+            space=SearchSpace(num_nodes=(2, 4)),
+        )
+        report = _plan(spec)
+        assert report.best is None and not report.feasible
+        # Every probe is recorded with its violation, not silently dropped.
+        assert all(probe.violations == ("deadline",) for probe in report.probes)
+
+    def test_surrogate_run_stays_deterministic(self):
+        spec = PlanSpec(
+            scenario=REFERENCE_SCENARIO,
+            constraint=Constraint(deadline_seconds=400.0),
+            space=REFERENCE_SPACE,
+            surrogate=True,
+        )
+        first = _plan(spec).to_dict()
+        second = _plan(spec).to_dict()
+        assert first["result"] == second["result"]
+        assert PlanReport.from_dict(first).best.point.num_nodes == 8
+
+    def test_confirm_backend_appends_a_confirm_probe(self):
+        spec = PlanSpec(
+            scenario=Scenario(
+                workload="wordcount",
+                input_size_bytes=megabytes(256),
+                num_reduces=2,
+                repetitions=1,
+            ),
+            space=SearchSpace(num_nodes=(2, 4)),
+            backend="aria",
+            confirm_backend="mva-forkjoin",
+            coarse=2,
+        )
+        report = _plan(spec)
+        confirms = [probe for probe in report.probes if probe.phase == "confirm"]
+        assert len(confirms) == 1
+        assert confirms[0].backend == "mva-forkjoin"
+        assert confirms[0].point == report.best.point
+
+    def test_min_nodes_objective_breaks_ties_towards_cost(self):
+        spec = PlanSpec(
+            scenario=REFERENCE_SCENARIO,
+            objective=Objective("min-nodes"),
+            constraint=Constraint(deadline_seconds=400.0),
+            space=REFERENCE_SPACE,
+        )
+        report = _plan(spec)
+        assert report.best.point.num_nodes == 6  # smallest feasible size
+
+
+class TestReport:
+    def test_envelope_shape_and_round_trip(self):
+        report = _plan(REFERENCE_SPEC)
+        payload = report.to_dict()
+        assert set(payload) == {"result", "metadata", "failed"}
+        restored = PlanReport.from_dict(json.loads(json.dumps(payload)))
+        assert restored.to_dict() == payload
+
+    def test_render_table_names_the_winner_and_the_path(self):
+        report = _plan(REFERENCE_SPEC)
+        table = report.render_table()
+        assert "best: 8 nodes" in table
+        assert "coarse: 3 probe(s)" in table
+        assert "violates deadline" in table
+
+    def test_metadata_separates_live_from_cached(self, tmp_path):
+        service = PredictionService(store=str(tmp_path / "store"))
+        cold = CapacityPlanner(service).plan(REFERENCE_SPEC)
+        assert cold.evaluations == len(cold.probes)
+        assert cold.cached == 0
+        reopened = PredictionService(store=str(tmp_path / "store"))
+        warm = CapacityPlanner(reopened).plan(REFERENCE_SPEC)
+        assert warm.evaluations == 0
+        assert warm.cached == len(warm.probes)
+
+
+class TestResumability:
+    def test_warm_store_resumes_with_strictly_fewer_live_evaluations(self, tmp_path):
+        store = str(tmp_path / "store")
+        cold = CapacityPlanner(PredictionService(store=store)).plan(REFERENCE_SPEC)
+        warm = CapacityPlanner(PredictionService(store=store)).plan(REFERENCE_SPEC)
+        assert cold.evaluations > 0
+        assert warm.evaluations < cold.evaluations
+        assert warm.evaluations == 0
+        # The auditable record is bit-identical; only run accounting differs.
+        assert warm.to_dict()["result"] == cold.to_dict()["result"]
+
+    def test_partial_store_resumes_with_fewer_live_evaluations(self, tmp_path):
+        store = str(tmp_path / "store")
+        # Warm only part of the grid: a narrower plan over the same scenario.
+        narrow = PlanSpec(
+            scenario=REFERENCE_SCENARIO,
+            constraint=Constraint(deadline_seconds=400.0),
+            space=SearchSpace(num_nodes=(2, 10, 16)),
+            coarse=3,
+        )
+        CapacityPlanner(PredictionService(store=store)).plan(narrow)
+        resumed = CapacityPlanner(PredictionService(store=store)).plan(REFERENCE_SPEC)
+        fresh = _plan(REFERENCE_SPEC)
+        assert resumed.to_dict()["result"] == fresh.to_dict()["result"]
+        assert 0 < resumed.evaluations < len(resumed.probes)
+
+
+class TestDeadlineMonotonicity:
+    """Tightening a deadline never yields a cheaper plan.
+
+    With an exhaustive coarse pass the planner returns the true feasible
+    optimum, so the property is exact: the feasible set only shrinks as the
+    deadline tightens, and the minimum over a subset cannot be smaller.
+    """
+
+    @staticmethod
+    def _best_cost(deadline: float) -> float:
+        spec = PlanSpec(
+            scenario=REFERENCE_SCENARIO,
+            objective=Objective("min-cost"),
+            constraint=Constraint(deadline_seconds=deadline),
+            space=REFERENCE_SPACE,
+            coarse=len(REFERENCE_SPACE.num_nodes),  # exhaustive coarse pass
+        )
+        report = _plan(spec)
+        return report.best.cost if report.best is not None else float("inf")
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        deadlines=st.tuples(
+            st.floats(min_value=60.0, max_value=1500.0),
+            st.floats(min_value=60.0, max_value=1500.0),
+        )
+    )
+    def test_tighter_deadline_never_costs_less(self, deadlines):
+        tight, loose = sorted(deadlines)
+        assert self._best_cost(tight) >= self._best_cost(loose)
+
+
+class TestSurrogate:
+    def test_interpolates_within_a_slice_and_clamps_outside(self):
+        class FakeProbe:
+            def __init__(self, nodes, seconds):
+                self.point = PlanPoint(num_nodes=nodes)
+                self.total_seconds = seconds
+
+        surrogate = InterpolationSurrogate.fit([FakeProbe(2, 900.0), FakeProbe(10, 200.0)])
+        assert surrogate.predict(PlanPoint(num_nodes=6)) == pytest.approx(550.0)
+        assert surrogate.predict(PlanPoint(num_nodes=1)) == pytest.approx(900.0)
+        assert surrogate.predict(PlanPoint(num_nodes=16)) == pytest.approx(200.0)
+        # Unknown slice (different container memory): off-model, no estimate.
+        assert surrogate.predict(PlanPoint(num_nodes=6, container_memory_bytes=GiB)) is None
+
+    def test_nomination_prefers_predicted_feasible_and_cheap(self):
+        class FakeProbe:
+            def __init__(self, nodes, seconds):
+                self.point = PlanPoint(num_nodes=nodes)
+                self.total_seconds = seconds
+
+        surrogate = InterpolationSurrogate.fit([FakeProbe(2, 900.0), FakeProbe(16, 100.0)])
+        candidates = [PlanPoint(num_nodes=n) for n in (4, 6, 8, 10, 12, 14)]
+        nominated = surrogate.nominate(
+            candidates, Objective("min-cost"), Constraint(deadline_seconds=500.0), 2
+        )
+        assert len(nominated) == 2
+        estimates = [surrogate.predict(point) for point in nominated]
+        assert all(estimate <= 500.0 for estimate in estimates)
+
+
+class TestWorkloadKnobs:
+    def test_every_registered_workload_declares_or_inherits_knobs(self):
+        for workload in ("wordcount", "terasort", "grep", "iterative-ml", "failure-recovery"):
+            axes = plan_knobs(workload)
+            assert axes["num_nodes"], workload
+
+    def test_resolved_space_defaults_to_workload_knobs(self):
+        spec = PlanSpec(scenario=Scenario(workload="terasort"))
+        space = spec.resolved_space()
+        assert space.num_reduces == (4, 8, 16, 32)
+
+
+class TestExamples:
+    """The productized examples stay runnable and keep their printed shape."""
+
+    def test_capacity_planning_example(self, capsys):
+        runpy.run_path("examples/capacity_planning.py", run_name="__main__")
+        output = capsys.readouterr().out
+        assert "best:" in output
+        assert "simulator check on" in output
+
+    def test_deadline_provisioning_example(self, capsys):
+        runpy.run_path("examples/deadline_provisioning.py", run_name="__main__")
+        output = capsys.readouterr().out
+        assert "chosen cluster:" in output
+        assert "deadline of 600s met" in output

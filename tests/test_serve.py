@@ -508,6 +508,36 @@ class TestDaemonEndpoints:
             assert lines[0]["plan"]["missing"] == 0
             assert ServiceStats.from_dict(lines[-1]["stats"]).evaluations == 0
 
+    def test_plan_endpoint_matches_direct_planner(self):
+        from repro.plan import CapacityPlanner, Constraint, PlanSpec, SearchSpace
+
+        spec = PlanSpec(
+            scenario=Scenario(
+                workload="wordcount",
+                input_size_bytes=megabytes(512),
+                num_jobs=2,
+            ),
+            constraint=Constraint(deadline_seconds=400.0),
+            space=SearchSpace(num_nodes=(2, 4, 6, 8)),
+        )
+        direct = CapacityPlanner(PredictionService()).plan(spec)
+        service = PredictionService()
+        with daemon_in_thread(service, ServeConfig(port=0)) as daemon:
+            client = DaemonClient(daemon.host, daemon.port)
+            status, body = client.post_json("/plan", {"plan": spec.to_dict()})
+            assert status == 200
+            # The served report is the CLI/library report: same envelope,
+            # bit-identical result section for the same spec.
+            assert set(body) == {"result", "metadata", "failed"}
+            assert body["result"] == direct.to_dict()["result"]
+            # Validation and routing errors.
+            assert client.post_json("/plan", {})[0] == 400
+            assert client.post_json("/plan", {"plan": {"bogus": 1}})[0] == 400
+            payload = spec.to_dict()
+            payload["backend"] = "no-such-backend"
+            assert client.post_json("/plan", {"plan": payload})[0] == 400
+            assert client.get_json("/plan")[0] == 405
+
     def test_mid_sweep_disconnect_leaves_scheduler_and_store_consistent(
         self, temporary_backend, tmp_path
     ):
